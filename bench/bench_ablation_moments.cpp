@@ -1,0 +1,85 @@
+// Ablation (paper Sec. II-A): one-pass raw/central moment computation
+// (Eq. 3-4, Schneider-Moradi) vs the naive two-pass formula (Eq. 2), and
+// the binary popcount fast path used for per-gate TVLA. Google-benchmark
+// microbenchmarks.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "tvla/moments.hpp"
+#include "tvla/welch.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+std::vector<double> make_samples(std::size_t n) {
+  polaris::util::Xoshiro256 rng(7);
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = rng.gaussian();
+  return xs;
+}
+
+void BM_TwoPassWelch(benchmark::State& state) {
+  const auto q0 = make_samples(static_cast<std::size_t>(state.range(0)));
+  const auto q1 = make_samples(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(polaris::tvla::welch_t_two_pass(q0, q1));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 2);
+}
+BENCHMARK(BM_TwoPassWelch)->Arg(1024)->Arg(16384)->Arg(131072);
+
+void BM_OnePassWelch(benchmark::State& state) {
+  const auto q0 = make_samples(static_cast<std::size_t>(state.range(0)));
+  const auto q1 = make_samples(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    // One pass: a single streaming sweep builds both accumulators, as
+    // during trace acquisition (Eq. 3-4).
+    polaris::tvla::MomentAccumulator a0, a1;
+    for (const double x : q0) a0.add(x);
+    for (const double x : q1) a1.add(x);
+    benchmark::DoNotOptimize(polaris::tvla::welch_t(a0, a1));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 2);
+}
+BENCHMARK(BM_OnePassWelch)->Arg(1024)->Arg(16384)->Arg(131072);
+
+void BM_BinaryCountWelch(benchmark::State& state) {
+  // The per-gate fast path: 64-lane toggle words reduced by popcount.
+  const auto n_words = static_cast<std::size_t>(state.range(0)) / 64;
+  polaris::util::Xoshiro256 rng(9);
+  std::vector<std::uint64_t> toggles(n_words), masks(n_words);
+  for (auto& w : toggles) w = rng();
+  for (auto& w : masks) w = rng();
+  for (auto _ : state) {
+    std::uint64_t n0 = 0, ones0 = 0, n1 = 0, ones1 = 0;
+    for (std::size_t i = 0; i < n_words; ++i) {
+      n0 += static_cast<std::uint64_t>(__builtin_popcountll(masks[i]));
+      n1 += static_cast<std::uint64_t>(__builtin_popcountll(~masks[i]));
+      ones0 += static_cast<std::uint64_t>(
+          __builtin_popcountll(toggles[i] & masks[i]));
+      ones1 += static_cast<std::uint64_t>(
+          __builtin_popcountll(toggles[i] & ~masks[i]));
+    }
+    benchmark::DoNotOptimize(polaris::tvla::welch_t_binary(n0, ones0, n1, ones1));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BinaryCountWelch)->Arg(1024)->Arg(16384)->Arg(131072);
+
+void BM_MomentMerge(benchmark::State& state) {
+  // Batch-parallel accumulation: merge() lets per-batch accumulators
+  // combine without replaying samples.
+  const auto xs = make_samples(4096);
+  for (auto _ : state) {
+    polaris::tvla::MomentAccumulator parts[8];
+    for (std::size_t i = 0; i < xs.size(); ++i) parts[i % 8].add(xs[i]);
+    for (int i = 1; i < 8; ++i) parts[0].merge(parts[i]);
+    benchmark::DoNotOptimize(parts[0].variance_sample());
+  }
+}
+BENCHMARK(BM_MomentMerge);
+
+}  // namespace
+
+BENCHMARK_MAIN();

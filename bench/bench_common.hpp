@@ -1,0 +1,71 @@
+// Shared setup for the table/figure reproduction benches.
+//
+// Environment knobs (all optional):
+//   POLARIS_BENCH_TRACES   TVLA traces per campaign   (default 8192)
+//   POLARIS_BENCH_SCALE    design-size scale in [0,1] (default 1.0)
+//   POLARIS_BENCH_SEED     experiment seed            (default 1)
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+#include "circuits/suite.hpp"
+#include "core/polaris.hpp"
+#include "techlib/techlib.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace polaris::bench {
+
+inline std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* value = std::getenv(name);
+  return value == nullptr ? fallback
+                          : static_cast<std::size_t>(std::strtoull(value, nullptr, 10));
+}
+
+inline double env_double(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  return value == nullptr ? fallback : std::strtod(value, nullptr);
+}
+
+struct BenchSetup {
+  std::size_t traces = 8192;
+  double scale = 1.0;
+  std::uint64_t seed = 1;
+  techlib::TechLibrary lib = techlib::TechLibrary::default_library();
+
+  static BenchSetup from_env() {
+    BenchSetup setup;
+    setup.traces = env_size("POLARIS_BENCH_TRACES", 8192);
+    setup.scale = env_double("POLARIS_BENCH_SCALE", 1.0);
+    setup.seed = env_size("POLARIS_BENCH_SEED", 1);
+    return setup;
+  }
+
+  /// The paper's POLARIS parameters, adapted to this trace budget. The
+  /// cognition mask size is sized to the training designs (Sec. V-A uses
+  /// Msize = 200 on the larger ISCAS circuits; our training circuits are
+  /// 250-950 gates, so 60 keeps several iterations per design).
+  [[nodiscard]] core::PolarisConfig polaris_config() const {
+    core::PolarisConfig config;
+    config.mask_size = 60;
+    config.locality = 7;
+    config.iterations = 100;
+    config.theta_r = 0.70;
+    config.model = core::ModelKind::kAdaBoost;
+    config.learning_rate = 0.01;
+    config.model_rounds = 300;
+    config.tvla.traces = traces;
+    config.tvla.noise_std_fj = 1.0;
+    config.tvla.seed = seed;
+    config.seed = seed;
+    return config;
+  }
+};
+
+/// Percentage reduction helper (guards the zero-baseline case).
+inline double reduction_percent(double before, double after) {
+  return before <= 0.0 ? 0.0 : 100.0 * (before - after) / before;
+}
+
+}  // namespace polaris::bench

@@ -1,0 +1,78 @@
+#include "analysis/ppa.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "power/power_model.hpp"
+#include "sim/simulator.hpp"
+
+namespace polaris::analysis {
+
+using netlist::GateId;
+using netlist::NetId;
+
+PpaReport analyze(const netlist::Netlist& design,
+                  const techlib::TechLibrary& lib, const AnalysisConfig& config) {
+  PpaReport report;
+
+  // --- area ---------------------------------------------------------------
+  for (const auto& gate : design.gates()) {
+    report.area_um2 += lib.area(gate.type, gate.inputs.size());
+  }
+
+  // --- delay (levelized STA) -----------------------------------------------
+  // arrival(g) = max over combinational fan-in drivers of arrival(driver)
+  //              + cell delay(g). Sources and DFF outputs launch at t = 0.
+  {
+    std::vector<double> arrival(design.gate_count(), 0.0);
+    double worst = 0.0;
+    for (const GateId g : design.topological_order()) {
+      const auto& gate = design.gate(g);
+      if (!netlist::is_combinational(gate.type) &&
+          gate.type != netlist::CellType::kDff) {
+        continue;
+      }
+      double launch = 0.0;
+      for (const NetId in : gate.inputs) {
+        const GateId driver = design.net(in).driver;
+        if (netlist::is_combinational(design.gate(driver).type)) {
+          launch = std::max(launch, arrival[driver]);
+        }
+      }
+      const std::size_t fanout = design.net(gate.output).fanouts.size();
+      arrival[g] = launch + lib.delay(gate.type, gate.inputs.size(), fanout);
+      worst = std::max(worst, arrival[g]);
+    }
+    report.delay_ns = worst / 1000.0;  // ps -> ns
+  }
+
+  // --- power ---------------------------------------------------------------
+  // Dynamic: measured toggle rates under uniform random stimulus.
+  {
+    power::PowerModel power(design, lib);
+    sim::Simulator simulator(design, config.seed);
+    double energy_fj_total = 0.0;  // summed over cycles and lanes
+    std::size_t cycles = std::max<std::size_t>(1, config.activity_cycles);
+    for (std::size_t c = 0; c < cycles; ++c) {
+      simulator.set_inputs_random();
+      simulator.eval();
+      for (GateId g = 0; g < design.gate_count(); ++g) {
+        const int toggles = __builtin_popcountll(simulator.toggles(g));
+        if (toggles != 0) {
+          energy_fj_total += power.gate_energy(g) * toggles;
+        }
+      }
+      simulator.latch();
+    }
+    const double lanes = static_cast<double>(sim::kLanes);
+    const double energy_per_cycle_fj =
+        energy_fj_total / (static_cast<double>(cycles) * lanes);
+    // mW = fJ/cycle * cycles/s: fJ = 1e-15 J, MHz = 1e6 /s, W->mW = 1e3.
+    report.dynamic_power_mw = energy_per_cycle_fj * config.clock_mhz * 1e-6;
+    report.static_power_mw = power.static_leakage() * 1e-6;  // nW -> mW
+    report.power_mw = report.dynamic_power_mw + report.static_power_mw;
+  }
+  return report;
+}
+
+}  // namespace polaris::analysis

@@ -1,0 +1,38 @@
+// Power / performance / area reporting (Table IV substrate).
+//
+// Mirrors what the paper pulls from Synopsys DC reports:
+//   area  - sum of cell areas (um^2),
+//   power - activity-based dynamic power (random stimulus at a nominal
+//           clock) plus static leakage (mW),
+//   delay - levelized static timing: longest register-to-register /
+//           input-to-output path (ns).
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/netlist.hpp"
+#include "techlib/techlib.hpp"
+
+namespace polaris::analysis {
+
+struct AnalysisConfig {
+  /// Random-stimulus cycles used to estimate toggle rates.
+  std::size_t activity_cycles = 1024;
+  /// Nominal clock for energy-to-power conversion.
+  double clock_mhz = 100.0;
+  std::uint64_t seed = 7;
+};
+
+struct PpaReport {
+  double area_um2 = 0.0;
+  double power_mw = 0.0;  // dynamic + static
+  double dynamic_power_mw = 0.0;
+  double static_power_mw = 0.0;
+  double delay_ns = 0.0;
+};
+
+[[nodiscard]] PpaReport analyze(const netlist::Netlist& design,
+                                const techlib::TechLibrary& lib,
+                                const AnalysisConfig& config = {});
+
+}  // namespace polaris::analysis

@@ -1,0 +1,27 @@
+// AES SubBytes slice: AddRoundKey + S-box lookup for N parallel bytes.
+// This is the canonical first-order DPA target (the paper's Fig. 1
+// motivation) and drives the aes_sbox_hardening example.
+//
+// The S-box table is computed from first principles (GF(2^8) inverse with
+// the AES polynomial 0x11b followed by the affine transform), not typed in,
+// and is pinned by unit tests against published values.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "netlist/netlist.hpp"
+
+namespace polaris::circuits {
+
+/// Inputs: data (8*boxes bits), key (8*boxes bits); output: sbox(data ^ key)
+/// per byte (8*boxes bits). Each S-box is a two-level minterm decoder.
+[[nodiscard]] netlist::Netlist make_aes_sbox_layer(std::size_t boxes = 1);
+
+/// The AES S-box as a table (computed, cached).
+[[nodiscard]] const std::array<std::uint8_t, 256>& aes_sbox_table();
+
+/// Reference model of the layer for one byte lane.
+[[nodiscard]] std::uint8_t ref_aes_sbox(std::uint8_t data, std::uint8_t key);
+
+}  // namespace polaris::circuits

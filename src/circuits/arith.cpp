@@ -1,0 +1,173 @@
+#include "circuits/arith.hpp"
+
+#include <stdexcept>
+
+#include "circuits/word.hpp"
+
+namespace polaris::circuits {
+
+using netlist::CellType;
+using netlist::Netlist;
+
+Netlist make_adder(std::size_t width) {
+  Netlist nl("adder" + std::to_string(width));
+  WordBuilder wb(nl);
+  const Word a = wb.input("a", width);
+  const Word b = wb.input("b", width);
+  auto [sum, carry] = wb.add(a, b);
+  wb.output(sum, "sum");
+  nl.mark_output(carry, "cout");
+  nl.validate();
+  return nl;
+}
+
+namespace {
+
+/// Shared core for multiplier and squarer: shift-add over partial-product
+/// rows, accumulated at full 2w width.
+Word multiply_words(WordBuilder& wb, const Word& a, const Word& b) {
+  const std::size_t w = a.width();
+  const std::size_t out_w = 2 * w;
+
+  const auto partial_row = [&](std::size_t row) {
+    Word pp;
+    pp.bits.reserve(out_w);
+    for (std::size_t j = 0; j < out_w; ++j) {
+      if (j < row || j >= row + w) {
+        pp.bits.push_back(wb.zero());
+      } else {
+        pp.bits.push_back(
+            wb.gate(CellType::kAnd, {a.bits[j - row], b.bits[row]}));
+      }
+    }
+    return pp;
+  };
+
+  Word acc = partial_row(0);
+  for (std::size_t row = 1; row < w; ++row) {
+    acc = wb.add(acc, partial_row(row)).sum;
+  }
+  return acc;
+}
+
+}  // namespace
+
+Netlist make_multiplier(std::size_t width) {
+  Netlist nl("multiplier" + std::to_string(width));
+  WordBuilder wb(nl);
+  const Word a = wb.input("a", width);
+  const Word b = wb.input("b", width);
+  wb.output(multiply_words(wb, a, b), "p");
+  nl.validate();
+  return nl;
+}
+
+Netlist make_square(std::size_t width) {
+  Netlist nl("square" + std::to_string(width));
+  WordBuilder wb(nl);
+  const Word a = wb.input("a", width);
+  wb.output(multiply_words(wb, a, a), "p");
+  nl.validate();
+  return nl;
+}
+
+Netlist make_divider(std::size_t width) {
+  Netlist nl("div" + std::to_string(width));
+  WordBuilder wb(nl);
+  const Word a = wb.input("a", width);  // dividend
+  const Word b = wb.input("b", width);  // divisor
+
+  // Restoring division, one subtract-mux stage per quotient bit, MSB first.
+  // Partial remainder is width+1 bits so the trial subtraction never wraps.
+  const std::size_t rw = width + 1;
+  const Word divisor = wb.zext(b, rw);
+  Word rem = wb.constant(0, rw);
+  std::vector<netlist::NetId> q_bits(width);
+  for (std::size_t step = 0; step < width; ++step) {
+    const std::size_t bit = width - 1 - step;
+    // rem = (rem << 1) | a[bit]
+    Word shifted = wb.shift_left(rem, 1);
+    shifted.bits[0] = a.bits[bit];
+    const auto diff = wb.sub(shifted, divisor);
+    const netlist::NetId ge = diff.carry;  // 1 iff shifted >= divisor
+    q_bits[bit] = ge;
+    rem = wb.mux(ge, shifted, diff.sum);
+  }
+  Word quotient{std::move(q_bits)};
+  wb.output(quotient, "q");
+  wb.output(wb.slice(rem, 0, width), "r");
+  nl.validate();
+  return nl;
+}
+
+Netlist make_sqrt(std::size_t width) {
+  if (width % 2 != 0) throw std::invalid_argument("make_sqrt: width must be even");
+  Netlist nl("sqrt" + std::to_string(width));
+  WordBuilder wb(nl);
+  const Word a = wb.input("a", width);
+
+  // Restoring digit-recurrence square root: two radicand bits enter the
+  // partial remainder per step; the trial subtrahend is (root << 2) | 1.
+  const std::size_t steps = width / 2;
+  const std::size_t rw = width / 2 + 2;  // partial remainder width
+  Word rem = wb.constant(0, rw);
+  Word root = wb.constant(0, rw);
+  for (std::size_t step = 0; step < steps; ++step) {
+    const std::size_t pair = steps - 1 - step;
+    Word shifted = wb.shift_left(rem, 2);
+    shifted.bits[0] = a.bits[2 * pair];
+    shifted.bits[1] = a.bits[2 * pair + 1];
+    Word trial = wb.shift_left(root, 2);
+    trial.bits[0] = wb.one();
+    const auto diff = wb.sub(shifted, trial);
+    const netlist::NetId ge = diff.carry;
+    rem = wb.mux(ge, shifted, diff.sum);
+    Word next_root = wb.shift_left(root, 1);
+    next_root.bits[0] = ge;
+    root = std::move(next_root);
+  }
+  wb.output(wb.slice(root, 0, width / 2), "root");
+  wb.output(wb.slice(rem, 0, width / 2 + 1), "rem");
+  nl.validate();
+  return nl;
+}
+
+std::uint64_t ref_multiply(std::uint64_t a, std::uint64_t b, std::size_t width) {
+  const std::uint64_t mask = width >= 64 ? ~0ULL : (1ULL << width) - 1;
+  const unsigned __int128 product =
+      static_cast<unsigned __int128>(a & mask) * (b & mask);
+  const std::size_t out_w = 2 * width;
+  const unsigned __int128 out_mask =
+      out_w >= 128 ? ~static_cast<unsigned __int128>(0)
+                   : (static_cast<unsigned __int128>(1) << out_w) - 1;
+  return static_cast<std::uint64_t>(product & out_mask);
+}
+
+DivResult ref_divide(std::uint64_t a, std::uint64_t b, std::size_t width) {
+  const std::uint64_t mask = width >= 64 ? ~0ULL : (1ULL << width) - 1;
+  a &= mask;
+  b &= mask;
+  if (b == 0) return {mask, a};  // matches the restoring array (see header)
+  return {(a / b) & mask, (a % b) & mask};
+}
+
+SqrtResult ref_sqrt(std::uint64_t a, std::size_t width) {
+  const std::uint64_t mask = width >= 64 ? ~0ULL : (1ULL << width) - 1;
+  a &= mask;
+  std::uint64_t rem = 0;
+  std::uint64_t root = 0;
+  for (std::size_t step = 0; step < width / 2; ++step) {
+    const std::size_t pair = width / 2 - 1 - step;
+    rem = (rem << 2) | ((a >> (2 * pair)) & 3ULL);
+    const std::uint64_t trial = (root << 2) | 1ULL;
+    if (rem >= trial) {
+      rem -= trial;
+      root = (root << 1) | 1ULL;
+    } else {
+      root <<= 1;
+    }
+  }
+  return {root, rem};
+}
+
+}  // namespace polaris::circuits

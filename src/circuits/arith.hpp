@@ -1,0 +1,49 @@
+// Arithmetic benchmark generators with bit-exact software reference models.
+//
+// These stand in for the EPFL arithmetic suite (multiplier, square, div,
+// sqrt) used in the paper's evaluation (Table II). Every generator produces
+// a flat gate-level netlist; every reference model implements the *same*
+// algorithm on integers so simulator-vs-reference tests are exact.
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/netlist.hpp"
+
+namespace polaris::circuits {
+
+/// Ripple-carry adder: inputs a, b (width w); outputs sum (w) and cout.
+[[nodiscard]] netlist::Netlist make_adder(std::size_t width);
+
+/// Array multiplier: inputs a, b (w); output p (2w).
+[[nodiscard]] netlist::Netlist make_multiplier(std::size_t width);
+
+/// Squarer: input a (w); output p (2w). (EPFL "square".)
+[[nodiscard]] netlist::Netlist make_square(std::size_t width);
+
+/// Restoring array divider: inputs a (dividend), b (divisor), width w;
+/// outputs q and r (w each). Division by zero yields q = all-ones, r = a
+/// (the natural behaviour of the restoring array).
+[[nodiscard]] netlist::Netlist make_divider(std::size_t width);
+
+/// Restoring square root: input a (even width w); outputs root (w/2) and
+/// rem (w/2 + 1).
+[[nodiscard]] netlist::Netlist make_sqrt(std::size_t width);
+
+// --- reference models (same algorithms, on integers) ------------------------
+
+[[nodiscard]] std::uint64_t ref_multiply(std::uint64_t a, std::uint64_t b,
+                                         std::size_t width);
+struct DivResult {
+  std::uint64_t quotient;
+  std::uint64_t remainder;
+};
+[[nodiscard]] DivResult ref_divide(std::uint64_t a, std::uint64_t b,
+                                   std::size_t width);
+struct SqrtResult {
+  std::uint64_t root;
+  std::uint64_t remainder;
+};
+[[nodiscard]] SqrtResult ref_sqrt(std::uint64_t a, std::size_t width);
+
+}  // namespace polaris::circuits

@@ -1,0 +1,118 @@
+#include "circuits/cordic.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "circuits/word.hpp"
+
+namespace polaris::circuits {
+
+using netlist::CellType;
+using netlist::Netlist;
+using netlist::NetId;
+
+namespace {
+
+std::size_t effective_iterations(std::size_t width, std::size_t iterations) {
+  const std::size_t k = iterations == 0 ? width : iterations;
+  return k > 24 ? 24 : k;
+}
+
+/// atan(2^-i) and the aggregate gain 1/prod(sqrt(1+2^-2i)), both as fixed
+/// point with `frac` fraction bits. Generator and reference share these.
+std::vector<std::int64_t> atan_table(std::size_t count, std::size_t frac) {
+  std::vector<std::int64_t> table(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    table[i] = static_cast<std::int64_t>(
+        std::llround(std::atan(std::ldexp(1.0, -static_cast<int>(i))) *
+                     std::ldexp(1.0, static_cast<int>(frac))));
+  }
+  return table;
+}
+
+std::int64_t gain_fixed(std::size_t count, std::size_t frac) {
+  double k = 1.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    k /= std::sqrt(1.0 + std::ldexp(1.0, -2 * static_cast<int>(i)));
+  }
+  return static_cast<std::int64_t>(
+      std::llround(k * std::ldexp(1.0, static_cast<int>(frac))));
+}
+
+}  // namespace
+
+Netlist make_sin(std::size_t width, std::size_t iterations) {
+  const std::size_t k = effective_iterations(width, iterations);
+  const std::size_t frac = width - 1;
+  const std::size_t w = width + 2;  // sign + 1 integer bit headroom
+  const auto atans = atan_table(k, frac);
+
+  Netlist nl("sin" + std::to_string(width));
+  WordBuilder wb(nl);
+  const Word z_in = wb.input("z", width);
+
+  Word x = wb.constant(static_cast<std::uint64_t>(gain_fixed(k, frac)), w);
+  Word y = wb.constant(0, w);
+  Word z = wb.zext(z_in, w);
+
+  for (std::size_t i = 0; i < k; ++i) {
+    // d = +1 when z >= 0 (sign bit clear): rotate towards zero.
+    const NetId z_neg = z.msb();
+    const NetId z_pos = wb.gate(CellType::kNot, {z_neg});
+    const Word x_shift = wb.shift_right(x, i, /*arithmetic=*/true);
+    const Word y_shift = wb.shift_right(y, i, /*arithmetic=*/true);
+    // z >= 0: x -= y>>i ; y += x>>i ; z -= atan_i
+    // z <  0: x += y>>i ; y -= x>>i ; z += atan_i
+    Word x_next = wb.add_sub(z_pos, x, y_shift).sum;
+    Word y_next = wb.add_sub(z_neg, y, x_shift).sum;
+    Word z_next =
+        wb.add_sub(z_pos, z,
+                   wb.constant(static_cast<std::uint64_t>(atans[i]), w))
+            .sum;
+    x = std::move(x_next);
+    y = std::move(y_next);
+    z = std::move(z_next);
+  }
+  wb.output(y, "sin");
+  nl.validate();
+  return nl;
+}
+
+std::int64_t ref_sin_fixed(std::uint64_t z_fixed, std::size_t width,
+                           std::size_t iterations) {
+  const std::size_t k = effective_iterations(width, iterations);
+  const std::size_t frac = width - 1;
+  const std::size_t w = width + 2;
+  const auto atans = atan_table(k, frac);
+
+  const auto wrap = [w](std::int64_t v) {  // keep w-bit two's complement
+    const std::uint64_t mask = (w >= 64) ? ~0ULL : (1ULL << w) - 1;
+    std::uint64_t u = static_cast<std::uint64_t>(v) & mask;
+    if ((u >> (w - 1)) & 1ULL) u |= ~mask;  // sign extend
+    return static_cast<std::int64_t>(u);
+  };
+
+  std::int64_t x = gain_fixed(k, frac);
+  std::int64_t y = 0;
+  std::int64_t z = wrap(static_cast<std::int64_t>(z_fixed));
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::int64_t xs = wrap(x >> i);
+    const std::int64_t ys = wrap(y >> i);
+    if (z >= 0) {
+      const std::int64_t xn = wrap(x - ys);
+      const std::int64_t yn = wrap(y + xs);
+      z = wrap(z - atans[i]);
+      x = xn;
+      y = yn;
+    } else {
+      const std::int64_t xn = wrap(x + ys);
+      const std::int64_t yn = wrap(y - xs);
+      z = wrap(z + atans[i]);
+      x = xn;
+      y = yn;
+    }
+  }
+  return wrap(y);
+}
+
+}  // namespace polaris::circuits

@@ -1,0 +1,28 @@
+// Unrolled-CORDIC sine circuit (EPFL "sin" stand-in) with a bit-exact
+// fixed-point reference model.
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/netlist.hpp"
+
+namespace polaris::circuits {
+
+/// Combinational CORDIC (rotation mode), fully unrolled.
+///
+/// Input  z: angle in radians, unsigned fixed point with (width-1) fraction
+///           bits; valid range [0, pi/2].
+/// Output sin: two's-complement fixed point, width+2 bits with (width-1)
+///           fraction bits, = sin(z) up to CORDIC truncation error.
+/// `iterations` defaults to `width` (capped at 24).
+[[nodiscard]] netlist::Netlist make_sin(std::size_t width,
+                                        std::size_t iterations = 0);
+
+/// Bit-exact reference: identical fixed-point iteration on integers.
+/// `z_fixed` is the raw input word; the return value is the raw output word
+/// (two's complement in the low width+2 bits).
+[[nodiscard]] std::int64_t ref_sin_fixed(std::uint64_t z_fixed,
+                                         std::size_t width,
+                                         std::size_t iterations = 0);
+
+}  // namespace polaris::circuits

@@ -1,0 +1,317 @@
+#include "circuits/des.hpp"
+
+#include <algorithm>
+#include <array>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "circuits/word.hpp"
+
+namespace polaris::circuits {
+
+using netlist::CellType;
+using netlist::Netlist;
+using netlist::NetId;
+
+namespace {
+
+// FIPS 46-3 tables. Entries are 1-based source-bit indices, MSB-first.
+constexpr std::array<int, 64> kIp = {
+    58, 50, 42, 34, 26, 18, 10, 2, 60, 52, 44, 36, 28, 20, 12, 4,
+    62, 54, 46, 38, 30, 22, 14, 6, 64, 56, 48, 40, 32, 24, 16, 8,
+    57, 49, 41, 33, 25, 17, 9,  1, 59, 51, 43, 35, 27, 19, 11, 3,
+    61, 53, 45, 37, 29, 21, 13, 5, 63, 55, 47, 39, 31, 23, 15, 7};
+
+constexpr std::array<int, 64> kFp = {
+    40, 8, 48, 16, 56, 24, 64, 32, 39, 7, 47, 15, 55, 23, 63, 31,
+    38, 6, 46, 14, 54, 22, 62, 30, 37, 5, 45, 13, 53, 21, 61, 29,
+    36, 4, 44, 12, 52, 20, 60, 28, 35, 3, 43, 11, 51, 19, 59, 27,
+    34, 2, 42, 10, 50, 18, 58, 26, 33, 1, 41, 9,  49, 17, 57, 25};
+
+constexpr std::array<int, 48> kExpansion = {
+    32, 1,  2,  3,  4,  5,  4,  5,  6,  7,  8,  9,  8,  9,  10, 11,
+    12, 13, 12, 13, 14, 15, 16, 17, 16, 17, 18, 19, 20, 21, 20, 21,
+    22, 23, 24, 25, 24, 25, 26, 27, 28, 29, 28, 29, 30, 31, 32, 1};
+
+constexpr std::array<int, 32> kPbox = {
+    16, 7, 20, 21, 29, 12, 28, 17, 1,  15, 23, 26, 5,  18, 31, 10,
+    2,  8, 24, 14, 32, 27, 3,  9,  19, 13, 30, 6,  22, 11, 4,  25};
+
+constexpr std::array<int, 56> kPc1 = {
+    57, 49, 41, 33, 25, 17, 9,  1,  58, 50, 42, 34, 26, 18,
+    10, 2,  59, 51, 43, 35, 27, 19, 11, 3,  60, 52, 44, 36,
+    63, 55, 47, 39, 31, 23, 15, 7,  62, 54, 46, 38, 30, 22,
+    14, 6,  61, 53, 45, 37, 29, 21, 13, 5,  28, 20, 12, 4};
+
+constexpr std::array<int, 48> kPc2 = {
+    14, 17, 11, 24, 1,  5,  3,  28, 15, 6,  21, 10, 23, 19, 12, 4,
+    26, 8,  16, 7,  27, 20, 13, 2,  41, 52, 31, 37, 47, 55, 30, 40,
+    51, 45, 33, 48, 44, 49, 39, 56, 34, 53, 46, 42, 50, 36, 29, 32};
+
+constexpr std::array<int, 16> kShifts = {1, 1, 2, 2, 2, 2, 2, 2,
+                                         1, 2, 2, 2, 2, 2, 2, 1};
+
+constexpr std::uint8_t kSbox[8][4][16] = {
+    {{14, 4, 13, 1, 2, 15, 11, 8, 3, 10, 6, 12, 5, 9, 0, 7},
+     {0, 15, 7, 4, 14, 2, 13, 1, 10, 6, 12, 11, 9, 5, 3, 8},
+     {4, 1, 14, 8, 13, 6, 2, 11, 15, 12, 9, 7, 3, 10, 5, 0},
+     {15, 12, 8, 2, 4, 9, 1, 7, 5, 11, 3, 14, 10, 0, 6, 13}},
+    {{15, 1, 8, 14, 6, 11, 3, 4, 9, 7, 2, 13, 12, 0, 5, 10},
+     {3, 13, 4, 7, 15, 2, 8, 14, 12, 0, 1, 10, 6, 9, 11, 5},
+     {0, 14, 7, 11, 10, 4, 13, 1, 5, 8, 12, 6, 9, 3, 2, 15},
+     {13, 8, 10, 1, 3, 15, 4, 2, 11, 6, 7, 12, 0, 5, 14, 9}},
+    {{10, 0, 9, 14, 6, 3, 15, 5, 1, 13, 12, 7, 11, 4, 2, 8},
+     {13, 7, 0, 9, 3, 4, 6, 10, 2, 8, 5, 14, 12, 11, 15, 1},
+     {13, 6, 4, 9, 8, 15, 3, 0, 11, 1, 2, 12, 5, 10, 14, 7},
+     {1, 10, 13, 0, 6, 9, 8, 7, 4, 15, 14, 3, 11, 5, 2, 12}},
+    {{7, 13, 14, 3, 0, 6, 9, 10, 1, 2, 8, 5, 11, 12, 4, 15},
+     {13, 8, 11, 5, 6, 15, 0, 3, 4, 7, 2, 12, 1, 10, 14, 9},
+     {10, 6, 9, 0, 12, 11, 7, 13, 15, 1, 3, 14, 5, 2, 8, 4},
+     {3, 15, 0, 6, 10, 1, 13, 8, 9, 4, 5, 11, 12, 7, 2, 14}},
+    {{2, 12, 4, 1, 7, 10, 11, 6, 8, 5, 3, 15, 13, 0, 14, 9},
+     {14, 11, 2, 12, 4, 7, 13, 1, 5, 0, 15, 10, 3, 9, 8, 6},
+     {4, 2, 1, 11, 10, 13, 7, 8, 15, 9, 12, 5, 6, 3, 0, 14},
+     {11, 8, 12, 7, 1, 14, 2, 13, 6, 15, 0, 9, 10, 4, 5, 3}},
+    {{12, 1, 10, 15, 9, 2, 6, 8, 0, 13, 3, 4, 14, 7, 5, 11},
+     {10, 15, 4, 2, 7, 12, 9, 5, 6, 1, 13, 14, 0, 11, 3, 8},
+     {9, 14, 15, 5, 2, 8, 12, 3, 7, 0, 4, 10, 1, 13, 11, 6},
+     {4, 3, 2, 12, 9, 5, 15, 10, 11, 14, 1, 7, 6, 0, 8, 13}},
+    {{4, 11, 2, 14, 15, 0, 8, 13, 3, 12, 9, 7, 5, 10, 6, 1},
+     {13, 0, 11, 7, 4, 9, 1, 10, 14, 3, 5, 12, 2, 15, 8, 6},
+     {1, 4, 11, 13, 12, 3, 7, 14, 10, 15, 6, 8, 0, 5, 9, 2},
+     {6, 11, 13, 8, 1, 4, 10, 7, 9, 5, 0, 15, 14, 2, 3, 12}},
+    {{13, 2, 8, 4, 6, 15, 11, 1, 10, 9, 3, 14, 5, 0, 12, 7},
+     {1, 15, 13, 8, 10, 3, 7, 4, 12, 5, 6, 11, 0, 14, 9, 2},
+     {7, 11, 4, 1, 9, 12, 14, 2, 0, 6, 10, 13, 15, 3, 5, 8},
+     {2, 1, 14, 7, 4, 10, 8, 13, 15, 12, 9, 0, 3, 5, 6, 11}}};
+
+// ---------------------------------------------------------------------------
+// Software reference
+// ---------------------------------------------------------------------------
+
+/// Generic bit permutation; input/output are MSB-first packed (FIPS bit 1 =
+/// bit position n_in-1).
+template <std::size_t NOut>
+std::uint64_t permute(std::uint64_t in, const std::array<int, NOut>& table,
+                      int n_in) {
+  std::uint64_t out = 0;
+  for (const int src : table) {
+    out = (out << 1) | ((in >> (n_in - src)) & 1ULL);
+  }
+  return out;
+}
+
+std::array<std::uint64_t, 16> key_schedule(std::uint64_t key) {
+  std::array<std::uint64_t, 16> subkeys{};
+  const std::uint64_t cd = permute(key, kPc1, 64);  // 56 bits
+  std::uint32_t c = static_cast<std::uint32_t>((cd >> 28) & 0x0fffffffULL);
+  std::uint32_t d = static_cast<std::uint32_t>(cd & 0x0fffffffULL);
+  const auto rol28 = [](std::uint32_t v, int s) {
+    return ((v << s) | (v >> (28 - s))) & 0x0fffffffU;
+  };
+  for (int r = 0; r < 16; ++r) {
+    c = rol28(c, kShifts[static_cast<std::size_t>(r)]);
+    d = rol28(d, kShifts[static_cast<std::size_t>(r)]);
+    const std::uint64_t merged =
+        (static_cast<std::uint64_t>(c) << 28) | static_cast<std::uint64_t>(d);
+    subkeys[static_cast<std::size_t>(r)] = permute(merged, kPc2, 56);  // 48 bits
+  }
+  return subkeys;
+}
+
+std::uint32_t feistel(std::uint32_t r, std::uint64_t k48) {
+  const std::uint64_t expanded = permute(r, kExpansion, 32) ^ k48;
+  std::uint32_t s_out = 0;
+  for (int box = 0; box < 8; ++box) {
+    const auto six =
+        static_cast<std::uint32_t>((expanded >> (42 - 6 * box)) & 0x3fULL);
+    const std::uint32_t row = ((six >> 4) & 2U) | (six & 1U);
+    const std::uint32_t col = (six >> 1) & 0xfU;
+    s_out = (s_out << 4) | kSbox[box][row][col];
+  }
+  return static_cast<std::uint32_t>(permute(s_out, kPbox, 32));
+}
+
+}  // namespace
+
+std::uint64_t ref_des(std::uint64_t key, std::uint64_t block, bool decrypt,
+                      std::size_t rounds) {
+  if (rounds == 0 || rounds > 16) {
+    throw std::invalid_argument("ref_des: rounds must be in [1,16]");
+  }
+  const auto subkeys = key_schedule(key);
+  const std::uint64_t ip = permute(block, kIp, 64);
+  std::uint32_t l = static_cast<std::uint32_t>(ip >> 32);
+  std::uint32_t r = static_cast<std::uint32_t>(ip & 0xffffffffULL);
+  for (std::size_t i = 0; i < rounds; ++i) {
+    const std::size_t ki = decrypt ? rounds - 1 - i : i;
+    const std::uint32_t next_r = l ^ feistel(r, subkeys[ki]);
+    l = r;
+    r = next_r;
+  }
+  const std::uint64_t preoutput =
+      (static_cast<std::uint64_t>(r) << 32) | l;  // final swap
+  return permute(preoutput, kFp, 64);
+}
+
+std::uint64_t ref_des3(std::uint64_t k1, std::uint64_t k2, std::uint64_t k3,
+                       std::uint64_t block) {
+  return ref_des(k3, ref_des(k2, ref_des(k1, block), /*decrypt=*/true));
+}
+
+// ---------------------------------------------------------------------------
+// Netlist generator
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// MSB-first net vector (index 0 = FIPS bit 1).
+using Bits = std::vector<NetId>;
+
+Bits from_word_msb_first(const Word& word) {
+  Bits bits(word.width());
+  for (std::size_t i = 0; i < word.width(); ++i) {
+    bits[i] = word.bits[word.width() - 1 - i];
+  }
+  return bits;
+}
+
+Word to_word_lsb_first(const Bits& bits) {
+  Word word;
+  word.bits.assign(bits.rbegin(), bits.rend());
+  return word;
+}
+
+template <std::size_t NOut>
+Bits permute_nets(const Bits& in, const std::array<int, NOut>& table) {
+  Bits out(NOut);
+  for (std::size_t i = 0; i < NOut; ++i) {
+    out[i] = in[static_cast<std::size_t>(table[i] - 1)];
+  }
+  return out;
+}
+
+Bits xor_nets(WordBuilder& wb, const Bits& a, const Bits& b) {
+  Bits out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out[i] = wb.gate(CellType::kXor, {a[i], b[i]});
+  }
+  return out;
+}
+
+/// One 6->4 S-box as a full minterm decoder: 6 inverters + 64 six-input
+/// ANDs shared by the four output OR trees.
+Bits sbox_nets(WordBuilder& wb, int box, const Bits& six) {
+  Bits inverted(6);
+  for (std::size_t i = 0; i < 6; ++i) {
+    inverted[i] = wb.gate(CellType::kNot, {six[i]});
+  }
+  std::array<NetId, 64> minterm{};
+  for (std::uint32_t m = 0; m < 64; ++m) {
+    std::vector<NetId> literals(6);
+    for (std::size_t bit = 0; bit < 6; ++bit) {
+      // m's bit 5 corresponds to six[0] (MSB-first address).
+      const bool on = ((m >> (5 - bit)) & 1U) != 0;
+      literals[bit] = on ? six[bit] : inverted[bit];
+    }
+    minterm[m] = wb.netlist().add_cell(
+        CellType::kAnd, std::span<const NetId>(literals.data(), 6));
+  }
+  Bits out(4);
+  for (std::size_t k = 0; k < 4; ++k) {
+    std::vector<NetId> terms;
+    for (std::uint32_t m = 0; m < 64; ++m) {
+      const std::uint32_t row = ((m >> 4) & 2U) | (m & 1U);
+      const std::uint32_t col = (m >> 1) & 0xfU;
+      if ((kSbox[box][row][col] >> (3 - k)) & 1U) {
+        terms.push_back(minterm[m]);
+      }
+    }
+    out[k] = wb.reduce(CellType::kOr, std::move(terms));
+  }
+  return out;
+}
+
+/// Gate-level key schedule is pure wiring except PC permutations (wiring
+/// too): returns the 16 x 48 subkey nets.
+std::array<Bits, 16> key_schedule_nets(const Bits& key) {
+  std::array<Bits, 16> subkeys;
+  Bits cd = permute_nets(key, kPc1);  // 56 nets
+  Bits c(cd.begin(), cd.begin() + 28);
+  Bits d(cd.begin() + 28, cd.end());
+  const auto rol = [](Bits& half, int s) {
+    std::rotate(half.begin(), half.begin() + s, half.end());
+  };
+  for (std::size_t r = 0; r < 16; ++r) {
+    rol(c, kShifts[r]);
+    rol(d, kShifts[r]);
+    Bits merged = c;
+    merged.insert(merged.end(), d.begin(), d.end());
+    subkeys[r] = permute_nets(merged, kPc2);
+  }
+  return subkeys;
+}
+
+/// Builds one DES core on existing nets; returns ciphertext nets.
+Bits des_core(WordBuilder& wb, const Bits& pt, const Bits& key, bool decrypt,
+              std::size_t rounds) {
+  const auto subkeys = key_schedule_nets(key);
+  Bits ip = permute_nets(pt, kIp);
+  Bits l(ip.begin(), ip.begin() + 32);
+  Bits r(ip.begin() + 32, ip.end());
+  for (std::size_t i = 0; i < rounds; ++i) {
+    const std::size_t ki = decrypt ? rounds - 1 - i : i;
+    const Bits expanded = permute_nets(r, kExpansion);
+    const Bits mixed = xor_nets(wb, expanded, subkeys[ki]);
+    Bits s_out;
+    s_out.reserve(32);
+    for (int box = 0; box < 8; ++box) {
+      const Bits six(mixed.begin() + 6 * box, mixed.begin() + 6 * (box + 1));
+      const Bits four = sbox_nets(wb, box, six);
+      s_out.insert(s_out.end(), four.begin(), four.end());
+    }
+    const Bits f_out = permute_nets(s_out, kPbox);
+    Bits next_r = xor_nets(wb, l, f_out);
+    l = std::move(r);
+    r = std::move(next_r);
+  }
+  Bits preoutput = r;  // final swap: R16 || L16
+  preoutput.insert(preoutput.end(), l.begin(), l.end());
+  return permute_nets(preoutput, kFp);
+}
+
+}  // namespace
+
+Netlist make_des(std::size_t rounds) {
+  if (rounds == 0 || rounds > 16) {
+    throw std::invalid_argument("make_des: rounds must be in [1,16]");
+  }
+  Netlist nl(rounds == 16 ? "des" : "des_r" + std::to_string(rounds));
+  WordBuilder wb(nl);
+  const Word pt = wb.input("pt", 64);
+  const Word key = wb.input("key", 64);
+  const Bits ct = des_core(wb, from_word_msb_first(pt),
+                           from_word_msb_first(key), /*decrypt=*/false, rounds);
+  wb.output(to_word_lsb_first(ct), "ct");
+  nl.validate();
+  return nl;
+}
+
+Netlist make_des3() {
+  Netlist nl("des3");
+  WordBuilder wb(nl);
+  const Word pt = wb.input("pt", 64);
+  const Word k1 = wb.input("k1", 64);
+  const Word k2 = wb.input("k2", 64);
+  const Word k3 = wb.input("k3", 64);
+  const Bits stage1 = des_core(wb, from_word_msb_first(pt),
+                               from_word_msb_first(k1), false, 16);
+  const Bits stage2 = des_core(wb, stage1, from_word_msb_first(k2), true, 16);
+  const Bits stage3 = des_core(wb, stage2, from_word_msb_first(k3), false, 16);
+  wb.output(to_word_lsb_first(stage3), "ct");
+  nl.validate();
+  return nl;
+}
+
+}  // namespace polaris::circuits

@@ -1,0 +1,35 @@
+// DES and Triple-DES (EDE) gate-level generators plus independent software
+// reference models (MIT-CEP "des3" stand-in).
+//
+// Bit convention: FIPS-46 numbers block bits 1..64 from the most significant
+// end. Circuit words are LSB-first, so FIPS bit i of a 64-bit word lives at
+// Word index (64 - i). Reference models use the same packing (FIPS bit 1 =
+// uint64 bit 63), which is also what openssl's DES produces - the reference
+// is validated against openssl known-answer vectors in the test suite.
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/netlist.hpp"
+
+namespace polaris::circuits {
+
+/// Single-DES core: inputs pt (64), key (64); output ct (64).
+/// `rounds` < 16 builds a reduced-round variant (for fast experiments);
+/// the reference model accepts the same parameter.
+[[nodiscard]] netlist::Netlist make_des(std::size_t rounds = 16);
+
+/// Triple-DES EDE: ct = E_k3(D_k2(E_k1(pt))). Inputs pt, k1, k2, k3 (64
+/// bits each); output ct (64).
+[[nodiscard]] netlist::Netlist make_des3();
+
+/// Software DES (same tables). decrypt=true reverses the key schedule.
+[[nodiscard]] std::uint64_t ref_des(std::uint64_t key, std::uint64_t block,
+                                    bool decrypt = false,
+                                    std::size_t rounds = 16);
+
+/// Software 3DES-EDE encrypt.
+[[nodiscard]] std::uint64_t ref_des3(std::uint64_t k1, std::uint64_t k2,
+                                     std::uint64_t k3, std::uint64_t block);
+
+}  // namespace polaris::circuits

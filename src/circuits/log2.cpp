@@ -1,0 +1,83 @@
+#include "circuits/log2.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "circuits/word.hpp"
+
+namespace polaris::circuits {
+
+using netlist::CellType;
+using netlist::Netlist;
+using netlist::NetId;
+
+Netlist make_log2(std::size_t width, std::size_t frac_bits) {
+  if (!std::has_single_bit(width)) {
+    throw std::invalid_argument("make_log2: width must be a power of two");
+  }
+  if (frac_bits >= width) {
+    throw std::invalid_argument("make_log2: frac_bits must be < width");
+  }
+  const std::size_t exp_bits = static_cast<std::size_t>(std::bit_width(width) - 1);
+
+  Netlist nl("log2_" + std::to_string(width));
+  WordBuilder wb(nl);
+  const Word a = wb.input("a", width);
+
+  // Leading-one detector: lead[i] = a[i] & ~(a[i+1] | ... | a[width-1]).
+  // Built MSB-down with a running "seen a one above" chain.
+  std::vector<NetId> lead(width);
+  NetId any_above = netlist::kNoNet;
+  for (std::size_t step = 0; step < width; ++step) {
+    const std::size_t i = width - 1 - step;
+    if (any_above == netlist::kNoNet) {
+      lead[i] = a.bits[i];
+      any_above = a.bits[i];
+    } else {
+      const NetId not_above = wb.gate(CellType::kNot, {any_above});
+      lead[i] = wb.gate(CellType::kAnd, {a.bits[i], not_above});
+      any_above = wb.gate(CellType::kOr, {any_above, a.bits[i]});
+    }
+  }
+
+  // Binary-encode the leading-one position.
+  Word exponent;
+  exponent.bits.reserve(exp_bits);
+  for (std::size_t k = 0; k < exp_bits; ++k) {
+    std::vector<NetId> terms;
+    for (std::size_t i = 0; i < width; ++i) {
+      if ((i >> k) & 1U) terms.push_back(lead[i]);
+    }
+    exponent.bits.push_back(wb.reduce(CellType::kOr, std::move(terms)));
+  }
+
+  // Normalize: shift left by (width-1 - position) = bitwise NOT of the
+  // position (power-of-two width), one mux stage per shift-amount bit.
+  Word mant = a;
+  for (std::size_t k = 0; k < exp_bits; ++k) {
+    const NetId sel = wb.gate(CellType::kNot, {exponent.bits[k]});
+    mant = wb.mux(sel, mant, wb.shift_left(mant, 1ULL << k));
+  }
+
+  // Fraction: the frac_bits just below the (now leading) MSB.
+  const Word frac = wb.slice(mant, width - 1 - frac_bits, frac_bits);
+
+  wb.output(exponent, "exp");
+  wb.output(frac, "frac");
+  nl.validate();
+  return nl;
+}
+
+Log2Result ref_log2(std::uint64_t a, std::size_t width, std::size_t frac_bits) {
+  const std::uint64_t mask = width >= 64 ? ~0ULL : (1ULL << width) - 1;
+  a &= mask;
+  if (a == 0) return {0, 0};
+  const std::size_t pos =
+      static_cast<std::size_t>(std::bit_width(a)) - 1;  // leading-one index
+  const std::uint64_t normalized = (a << (width - 1 - pos)) & mask;
+  const std::uint64_t frac =
+      (normalized >> (width - 1 - frac_bits)) & ((1ULL << frac_bits) - 1);
+  return {pos, frac};
+}
+
+}  // namespace polaris::circuits

@@ -1,0 +1,26 @@
+// Binary-logarithm circuit (EPFL "log2" stand-in): priority encoder +
+// normalizing barrel shifter, output = integer exponent and truncated
+// mantissa fraction. Bit-exact reference model included.
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/netlist.hpp"
+
+namespace polaris::circuits {
+
+/// Input a: unsigned, width must be a power of two (for the encoder/shifter
+/// duality). Outputs: exp = floor(log2(a)) (log2(width) bits) and
+/// frac = top `frac_bits` bits of the normalized mantissa below the leading
+/// one. a = 0 yields exp = 0, frac = 0.
+[[nodiscard]] netlist::Netlist make_log2(std::size_t width,
+                                         std::size_t frac_bits);
+
+struct Log2Result {
+  std::uint64_t exponent;
+  std::uint64_t fraction;
+};
+[[nodiscard]] Log2Result ref_log2(std::uint64_t a, std::size_t width,
+                                  std::size_t frac_bits);
+
+}  // namespace polaris::circuits

@@ -1,0 +1,29 @@
+// MD5 single-block compression circuit (MIT-CEP "md5" stand-in) with a
+// software reference model validated against openssl digests.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace polaris::circuits {
+
+/// Fully unrolled 64-step MD5 compression of one 512-bit block.
+/// Input  m: 512 bits; bit (32*w + j) is bit j (LSB) of message word w.
+/// Output digest: 128 bits; bit (32*r + j) is bit j of register r in
+/// (A, B, C, D) order after the final feed-forward addition.
+/// `steps` < 64 builds a reduced-step variant for fast experiments.
+[[nodiscard]] netlist::Netlist make_md5(std::size_t steps = 64);
+
+/// Reference compression of one block (same step count semantics).
+[[nodiscard]] std::array<std::uint32_t, 4> ref_md5_block(
+    const std::array<std::uint32_t, 16>& m, std::size_t steps = 64);
+
+/// Convenience: full MD5 digest of a short message (<= 55 bytes, single
+/// block after padding), as the canonical 16 output bytes.
+[[nodiscard]] std::array<std::uint8_t, 16> ref_md5_digest(
+    const std::vector<std::uint8_t>& message);
+
+}  // namespace polaris::circuits

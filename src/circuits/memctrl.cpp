@@ -1,0 +1,170 @@
+#include "circuits/memctrl.hpp"
+
+#include "circuits/word.hpp"
+
+namespace polaris::circuits {
+
+using netlist::CellType;
+using netlist::Netlist;
+using netlist::NetId;
+
+namespace {
+
+constexpr std::uint64_t kIdle = 0;
+constexpr std::uint64_t kActivate = 1;
+constexpr std::uint64_t kReadWrite = 2;
+constexpr std::uint64_t kPrecharge = 3;
+constexpr std::uint64_t kRefresh = 4;
+constexpr std::size_t kRefreshBits = 8;
+
+}  // namespace
+
+Netlist make_memctrl(std::size_t addr_width, std::size_t data_width) {
+  Netlist nl("memctrl_a" + std::to_string(addr_width) + "_d" +
+             std::to_string(data_width));
+  WordBuilder wb(nl);
+
+  const NetId req_valid = nl.add_input("req_valid");
+  const NetId req_rw = nl.add_input("req_rw");
+  const Word req_row = wb.input("req_row", addr_width);
+  const Word req_col = wb.input("req_col", addr_width);
+  const Word wdata = wb.input("wdata", data_width);
+  const Word wmask = wb.input("wmask", data_width);
+
+  // State registers (q nets usable before their DFFs are connected).
+  const Word state = wb.register_word("state", 3);
+  const Word open_row = wb.register_word("open_row", addr_width);
+  const Word row_valid = wb.register_word("row_valid", 1);
+  const Word refresh_ctr = wb.register_word("refresh_ctr", kRefreshBits);
+  const Word data_reg = wb.register_word("data_reg", data_width);
+
+  const auto state_is = [&](std::uint64_t code) {
+    return wb.equal(state, wb.constant(code, 3));
+  };
+  const NetId eq_idle = state_is(kIdle);
+  const NetId eq_act = state_is(kActivate);
+  const NetId eq_rw = state_is(kReadWrite);
+  const NetId eq_pre = state_is(kPrecharge);
+  const NetId eq_ref = state_is(kRefresh);
+
+  const NetId refresh_due = wb.reduce_and(refresh_ctr);
+  const NetId row_match = wb.equal(req_row, open_row);
+  const NetId row_hit = wb.gate(CellType::kAnd, {row_match, row_valid.bits[0]});
+
+  // Next-state from IDLE:
+  //   refresh_due ? REFRESH
+  //   : req_valid ? (row_hit ? RW : row_valid ? PRECHARGE : ACTIVATE) : IDLE
+  const Word c_idle = wb.constant(kIdle, 3);
+  const Word c_act = wb.constant(kActivate, 3);
+  const Word c_rw = wb.constant(kReadWrite, 3);
+  const Word c_pre = wb.constant(kPrecharge, 3);
+  const Word c_ref = wb.constant(kRefresh, 3);
+  const Word miss_path = wb.mux(row_valid.bits[0], c_act, c_pre);
+  const Word hit_path = wb.mux(row_hit, miss_path, c_rw);
+  const Word request_path = wb.mux(req_valid, c_idle, hit_path);
+  const Word idle_next = wb.mux(refresh_due, request_path, c_ref);
+
+  // Other states advance unconditionally: ACT->RW, RW->IDLE, PRE->ACT,
+  // REF->IDLE.
+  Word next_state = c_idle;                       // RW, REF and default
+  next_state = wb.mux(eq_pre, next_state, c_act);
+  next_state = wb.mux(eq_act, next_state, c_rw);
+  next_state = wb.mux(eq_idle, next_state, idle_next);
+
+  // Row book-keeping: load on ACTIVATE, invalidate on PRECHARGE/REFRESH.
+  const Word open_row_next = wb.mux(eq_act, open_row, req_row);
+  const NetId invalidate = wb.gate(CellType::kOr, {eq_pre, eq_ref});
+  const NetId keep_valid =
+      wb.gate(CellType::kMux, {invalidate, row_valid.bits[0], wb.zero()});
+  const NetId row_valid_next =
+      wb.gate(CellType::kMux, {eq_act, keep_valid, wb.one()});
+
+  // Refresh counter: clear in REFRESH, else +1 (saturation handled by wrap;
+  // refresh_due fires on all-ones).
+  const Word ctr_inc = wb.increment(refresh_ctr).sum;
+  const Word refresh_next = wb.mux(eq_ref, ctr_inc, wb.constant(0, kRefreshBits));
+
+  // Data register: byte-lane merge on write command,
+  //   data' = (wdata & wmask) | (data & ~wmask).
+  const NetId do_write = wb.gate(CellType::kAnd, {eq_rw, req_rw});
+  const Word merged = wb.mux_bits(wmask, data_reg, wdata);
+  const Word data_next = wb.mux(do_write, data_reg, merged);
+
+  wb.connect_register(state, next_state);
+  wb.connect_register(open_row, open_row_next);
+  wb.connect_register(row_valid, Word{{row_valid_next}});
+  wb.connect_register(refresh_ctr, refresh_next);
+  wb.connect_register(data_reg, data_next);
+
+  // Outputs. The DQ read bus is gated by ack, so its transitions carry the
+  // register's Hamming weight (the classic bus-leakage mechanism).
+  nl.mark_output(eq_rw, "ack");
+  nl.mark_output(wb.gate(CellType::kNot, {eq_idle}), "busy");
+  wb.output(state, "cmd");
+  wb.output(wb.mux(eq_act, req_col, req_row), "addr_out");
+  Word dq;
+  dq.bits.reserve(data_width);
+  for (std::size_t i = 0; i < data_width; ++i) {
+    dq.bits.push_back(wb.gate(CellType::kAnd, {data_reg.bits[i], eq_rw}));
+  }
+  wb.output(dq, "dq");
+  nl.validate();
+  return nl;
+}
+
+MemCtrlModel::MemCtrlModel(std::size_t addr_width, std::size_t data_width)
+    : addr_width_(addr_width), data_width_(data_width) {}
+
+MemCtrlModel::Outputs MemCtrlModel::outputs(const Inputs& in) const {
+  Outputs out;
+  out.ack = state_ == kReadWrite;
+  out.busy = state_ != kIdle;
+  out.cmd = state_;
+  const std::uint64_t addr_mask = (1ULL << addr_width_) - 1;
+  out.addr_out = (state_ == kActivate ? in.req_row : in.req_col) & addr_mask;
+  out.dq = out.ack ? (data_reg_ & ((1ULL << data_width_) - 1)) : 0;
+  return out;
+}
+
+void MemCtrlModel::step(const Inputs& in) {
+  const std::uint64_t addr_mask = (1ULL << addr_width_) - 1;
+  const bool refresh_due = refresh_ctr_ == (1ULL << kRefreshBits) - 1;
+  const bool row_hit = row_valid_ && ((in.req_row & addr_mask) == open_row_);
+
+  std::uint64_t next = kIdle;
+  switch (state_) {
+    case kIdle:
+      next = refresh_due
+                 ? kRefresh
+                 : (in.req_valid ? (row_hit ? kReadWrite
+                                            : (row_valid_ ? kPrecharge : kActivate))
+                                 : kIdle);
+      break;
+    case kActivate: next = kReadWrite; break;
+    case kPrecharge: next = kActivate; break;
+    case kReadWrite:
+    case kRefresh:
+    default: next = kIdle; break;
+  }
+
+  if (state_ == kActivate) open_row_ = in.req_row & addr_mask;
+  if (state_ == kActivate) row_valid_ = true;
+  else if (state_ == kPrecharge || state_ == kRefresh) row_valid_ = false;
+  refresh_ctr_ = (state_ == kRefresh) ? 0 : ((refresh_ctr_ + 1) &
+                                             ((1ULL << kRefreshBits) - 1));
+  if (state_ == kReadWrite && in.req_rw) {
+    const std::uint64_t data_mask = (1ULL << data_width_) - 1;
+    data_reg_ = ((in.wdata & in.wmask) | (data_reg_ & ~in.wmask)) & data_mask;
+  }
+  state_ = next;
+}
+
+void MemCtrlModel::reset() {
+  state_ = 0;
+  open_row_ = 0;
+  row_valid_ = false;
+  refresh_ctr_ = 0;
+  data_reg_ = 0;
+}
+
+}  // namespace polaris::circuits

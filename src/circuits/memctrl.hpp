@@ -1,0 +1,61 @@
+// Sequential memory-controller FSM (EPFL "mem_ctrl" stand-in): the one
+// DFF-based design of the evaluation suite, exercising the simulator's and
+// TVLA's sequential paths.
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/netlist.hpp"
+
+namespace polaris::circuits {
+
+/// SDRAM-style controller.
+/// Inputs : req_valid, req_rw, req_row[addr], req_col[addr], wdata[data],
+///          wmask[data] (per-bit write strobes).
+/// Outputs: ack, busy, cmd[3] (state code), addr_out[addr], dq[data]
+///          (read bus, gated by ack: Hamming-weight leakage like a real
+///          DQ bus).
+/// State  : IDLE(0) -> ACTIVATE(1) -> RW(2) -> IDLE, PRECHARGE(3) on row
+///          miss, REFRESH(4) when the refresh counter saturates. Writes
+///          merge wdata into the data register under wmask.
+[[nodiscard]] netlist::Netlist make_memctrl(std::size_t addr_width = 12,
+                                            std::size_t data_width = 16);
+
+/// Cycle-accurate reference model.
+class MemCtrlModel {
+ public:
+  MemCtrlModel(std::size_t addr_width, std::size_t data_width);
+
+  struct Inputs {
+    bool req_valid = false;
+    bool req_rw = false;  // 1 = write
+    std::uint64_t req_row = 0;
+    std::uint64_t req_col = 0;
+    std::uint64_t wdata = 0;
+    std::uint64_t wmask = 0;  // per-bit write strobes
+  };
+  struct Outputs {
+    bool ack = false;
+    bool busy = false;
+    std::uint64_t cmd = 0;
+    std::uint64_t addr_out = 0;
+    std::uint64_t dq = 0;
+  };
+
+  /// Combinational outputs for the current state + inputs.
+  [[nodiscard]] Outputs outputs(const Inputs& in) const;
+  /// Advance one clock edge.
+  void step(const Inputs& in);
+  void reset();
+
+ private:
+  std::size_t addr_width_;
+  std::size_t data_width_;
+  std::uint64_t state_ = 0;
+  std::uint64_t open_row_ = 0;
+  bool row_valid_ = false;
+  std::uint64_t refresh_ctr_ = 0;
+  std::uint64_t data_reg_ = 0;
+};
+
+}  // namespace polaris::circuits

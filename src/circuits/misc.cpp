@@ -1,0 +1,119 @@
+#include "circuits/misc.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "circuits/word.hpp"
+
+namespace polaris::circuits {
+
+using netlist::CellType;
+using netlist::Netlist;
+using netlist::NetId;
+
+Netlist make_voter(std::size_t inputs) {
+  if (inputs < 3 || inputs % 2 == 0) {
+    throw std::invalid_argument("make_voter: need an odd ballot count >= 3");
+  }
+  Netlist nl("voter" + std::to_string(inputs));
+  WordBuilder wb(nl);
+  const Word ballots = wb.input("v", inputs);
+
+  // Ripple popcount: accumulate each ballot into a running count.
+  const std::size_t cw = static_cast<std::size_t>(std::bit_width(inputs)) + 1;
+  Word count = wb.zext(Word{{ballots.bits[0]}}, cw);
+  for (std::size_t i = 1; i < inputs; ++i) {
+    count = wb.add(count, wb.zext(Word{{ballots.bits[i]}}, cw)).sum;
+  }
+  const NetId majority =
+      wb.greater_equal(count, wb.constant(inputs / 2 + 1, cw));
+  nl.mark_output(majority, "maj");
+  nl.validate();
+  return nl;
+}
+
+bool ref_voter(const std::vector<bool>& ballots) {
+  std::size_t ones = 0;
+  for (const bool b : ballots) ones += b ? 1 : 0;
+  return ones >= ballots.size() / 2 + 1;
+}
+
+Netlist make_arbiter(std::size_t requesters) {
+  if (!std::has_single_bit(requesters) || requesters < 2) {
+    throw std::invalid_argument("make_arbiter: requesters must be a power of two");
+  }
+  const std::size_t pw = static_cast<std::size_t>(std::bit_width(requesters) - 1);
+
+  Netlist nl("arbiter" + std::to_string(requesters));
+  WordBuilder wb(nl);
+  const Word req = wb.input("req", requesters);
+  const Word ptr = wb.input("ptr", pw);
+
+  // Rotate requests right by ptr so index 0 holds the highest-priority
+  // requester; barrel rotator, one mux stage per pointer bit.
+  const auto rotate_right = [&](const Word& w, const Word& amount) {
+    Word cur = w;
+    for (std::size_t k = 0; k < amount.width(); ++k) {
+      const std::size_t shift = 1ULL << k;
+      Word rotated;
+      rotated.bits.reserve(cur.width());
+      for (std::size_t i = 0; i < cur.width(); ++i) {
+        rotated.bits.push_back(cur.bits[(i + shift) % cur.width()]);
+      }
+      cur = wb.mux(amount.bits[k], cur, rotated);
+    }
+    return cur;
+  };
+  const auto rotate_left = [&](const Word& w, const Word& amount) {
+    Word cur = w;
+    for (std::size_t k = 0; k < amount.width(); ++k) {
+      const std::size_t shift = 1ULL << k;
+      Word rotated;
+      rotated.bits.reserve(cur.width());
+      for (std::size_t i = 0; i < cur.width(); ++i) {
+        rotated.bits.push_back(cur.bits[(i + cur.width() - shift) % cur.width()]);
+      }
+      cur = wb.mux(amount.bits[k], cur, rotated);
+    }
+    return cur;
+  };
+
+  const Word rotated = rotate_right(req, ptr);
+
+  // Fixed-priority grant on the rotated vector: grant_i = req_i & none
+  // higher (prefix-OR chain).
+  Word grant_rot;
+  grant_rot.bits.reserve(requesters);
+  NetId any_before = netlist::kNoNet;
+  for (std::size_t i = 0; i < requesters; ++i) {
+    if (any_before == netlist::kNoNet) {
+      grant_rot.bits.push_back(rotated.bits[i]);
+      any_before = rotated.bits[i];
+    } else {
+      const NetId not_before = wb.gate(CellType::kNot, {any_before});
+      grant_rot.bits.push_back(
+          wb.gate(CellType::kAnd, {rotated.bits[i], not_before}));
+      any_before = wb.gate(CellType::kOr, {any_before, rotated.bits[i]});
+    }
+  }
+
+  const Word grant = rotate_left(grant_rot, ptr);
+  wb.output(grant, "grant");
+  nl.mark_output(any_before, "any");
+  nl.validate();
+  return nl;
+}
+
+std::vector<bool> ref_arbiter(const std::vector<bool>& req, std::size_t pointer) {
+  std::vector<bool> grant(req.size(), false);
+  for (std::size_t k = 0; k < req.size(); ++k) {
+    const std::size_t i = (pointer + k) % req.size();
+    if (req[i]) {
+      grant[i] = true;
+      break;
+    }
+  }
+  return grant;
+}
+
+}  // namespace polaris::circuits

@@ -1,0 +1,25 @@
+// Control-dominated benchmark generators: majority voter and round-robin
+// arbiter (EPFL "voter" / "arbiter" stand-ins), with reference models.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace polaris::circuits {
+
+/// Majority voter: `inputs` 1-bit ballots (odd count), output maj = 1 iff
+/// more than half are 1. Internally a ripple popcount tree + comparator.
+[[nodiscard]] netlist::Netlist make_voter(std::size_t inputs);
+[[nodiscard]] bool ref_voter(const std::vector<bool>& ballots);
+
+/// Rotating-priority (round-robin) arbiter: inputs req[n] and a priority
+/// pointer ptr[log2 n]; outputs grant[n] (one-hot among requests, priority
+/// starting at ptr and wrapping) and any (OR of requests). n must be a
+/// power of two.
+[[nodiscard]] netlist::Netlist make_arbiter(std::size_t requesters);
+[[nodiscard]] std::vector<bool> ref_arbiter(const std::vector<bool>& req,
+                                            std::size_t pointer);
+
+}  // namespace polaris::circuits

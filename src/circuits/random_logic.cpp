@@ -1,0 +1,84 @@
+#include "circuits/random_logic.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace polaris::circuits {
+
+using netlist::CellType;
+using netlist::Netlist;
+using netlist::NetId;
+
+Netlist make_random_logic(const RandomLogicConfig& config) {
+  if (config.inputs < 2 || config.gates == 0) {
+    throw std::invalid_argument("make_random_logic: need >= 2 inputs, > 0 gates");
+  }
+  util::Xoshiro256 rng(config.seed);
+  Netlist nl("rand_g" + std::to_string(config.gates) + "_s" +
+             std::to_string(config.seed));
+
+  std::vector<NetId> pool;
+  pool.reserve(config.inputs + config.gates);
+  for (std::size_t i = 0; i < config.inputs; ++i) {
+    pool.push_back(nl.add_input("in_" + std::to_string(i)));
+  }
+
+  // Cell-type mix loosely matching a NAND-dominant mapped netlist.
+  const struct {
+    CellType type;
+    double weight;
+  } mix[] = {
+      {CellType::kNand, 0.28}, {CellType::kNor, 0.13}, {CellType::kAnd, 0.12},
+      {CellType::kOr, 0.10},   {CellType::kXor, 0.11}, {CellType::kXnor, 0.05},
+      {CellType::kNot, 0.10},  {CellType::kBuf, 0.03}, {CellType::kMux, 0.08},
+  };
+
+  const auto pick_type = [&]() {
+    double roll = rng.uniform();
+    for (const auto& entry : mix) {
+      if (roll < entry.weight) return entry.type;
+      roll -= entry.weight;
+    }
+    return CellType::kNand;
+  };
+
+  const auto pick_net = [&]() -> NetId {
+    if (rng.chance(config.locality) && pool.size() > 64) {
+      const std::size_t window = 64;
+      return pool[pool.size() - 1 - rng.bounded(window)];
+    }
+    return pool[rng.bounded(pool.size())];
+  };
+
+  for (std::size_t g = 0; g < config.gates; ++g) {
+    const CellType type = pick_type();
+    std::size_t fan_in = 2;
+    if (type == CellType::kNot || type == CellType::kBuf) {
+      fan_in = 1;
+    } else if (type == CellType::kMux) {
+      fan_in = 3;
+    } else if (rng.chance(0.15)) {
+      fan_in = 3 + rng.bounded(2);  // occasional 3- or 4-input cell
+    } else if ((type == CellType::kAnd || type == CellType::kOr ||
+                type == CellType::kNand || type == CellType::kNor) &&
+               rng.chance(0.08)) {
+      fan_in = 5 + rng.bounded(4);  // wide SOP-style cells (decoders, PLAs)
+    }
+    std::vector<NetId> inputs;
+    inputs.reserve(fan_in);
+    for (std::size_t i = 0; i < fan_in; ++i) inputs.push_back(pick_net());
+    pool.push_back(nl.add_cell(type, inputs));
+  }
+
+  const std::size_t outputs = std::min(config.outputs, config.gates);
+  for (std::size_t i = 0; i < outputs; ++i) {
+    nl.mark_output(pool[pool.size() - 1 - i], "out_" + std::to_string(i));
+  }
+  nl.validate();
+  return nl;
+}
+
+}  // namespace polaris::circuits

@@ -1,0 +1,25 @@
+// Seeded random combinational netlists with mapped-netlist-like cell-type
+// and locality statistics. These are the training designs (substituting the
+// small ISCAS-85 circuits the paper trains on; see DESIGN.md) and general
+// fuzzing material for property tests.
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/netlist.hpp"
+
+namespace polaris::circuits {
+
+struct RandomLogicConfig {
+  std::size_t inputs = 32;
+  std::size_t gates = 400;   // combinational cells to create
+  std::size_t outputs = 16;  // nets marked as primary outputs
+  /// Probability that an operand is drawn from the most recent nets
+  /// (creates depth and local structure instead of a shallow soup).
+  double locality = 0.75;
+  std::uint64_t seed = 1;
+};
+
+[[nodiscard]] netlist::Netlist make_random_logic(const RandomLogicConfig& config);
+
+}  // namespace polaris::circuits

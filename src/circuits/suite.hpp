@@ -1,0 +1,39 @@
+// Named design suite mirroring the paper's evaluation setup (Sec. V-A):
+// six small training designs (substituting ISCAS-85; see DESIGN.md) and the
+// eleven evaluation designs of Tables II-IV (EPFL / MIT-CEP stand-ins).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace polaris::circuits {
+
+/// Role of a primary input in side-channel experiments. The TVLA layer maps
+/// kData -> sensitive (fixed-vs-random), kKey -> fixed-common, and
+/// kControl -> random-common.
+enum class InputRole : std::uint8_t { kData, kKey, kControl };
+
+struct Design {
+  std::string name;
+  netlist::Netlist netlist;
+  std::vector<InputRole> roles;  // one per primary input
+};
+
+/// The 11 evaluation designs of Table II, in table order:
+/// des3, arbiter, sin, md5, voter, square, sqrt, div, memctrl, multiplier,
+/// log2. `scale` < 1.0 shrinks parameterized widths for quick test runs.
+[[nodiscard]] std::vector<Design> evaluation_suite(double scale = 1.0);
+
+/// Six small training designs (Sec. V-A trains on six ISCAS-85 circuits).
+[[nodiscard]] std::vector<Design> training_suite();
+
+/// Build one design by name (any name from either suite). Throws
+/// std::invalid_argument for unknown names.
+[[nodiscard]] Design get_design(const std::string& name, double scale = 1.0);
+
+/// All evaluation-suite names, in Table II order.
+[[nodiscard]] std::vector<std::string> evaluation_names();
+
+}  // namespace polaris::circuits

@@ -1,0 +1,77 @@
+#include "core/cognition.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/features.hpp"
+#include "masking/masking.hpp"
+#include "tvla/tvla.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace polaris::core {
+
+using netlist::GateId;
+
+CognitionStats generate_cognition_data(const circuits::Design& design,
+                                       const techlib::TechLibrary& lib,
+                                       const PolarisConfig& config,
+                                       ml::Dataset& dataset) {
+  CognitionStats stats;
+  const auto tvla_config = tvla_config_for(config, design);
+
+  graph::FeatureExtractor extractor(design.netlist,
+                                    graph::FeatureSpec{config.locality});
+
+  util::Timer leak_timer;
+  const tvla::LeakageReport original =
+      tvla::run_fixed_vs_random(design.netlist, lib, tvla_config);
+  stats.leak_estimate_seconds += leak_timer.seconds();
+
+  // R_gates: the maskable pool, consumed without replacement.
+  std::vector<GateId> pool;
+  for (GateId g = 0; g < design.netlist.gate_count(); ++g) {
+    if (netlist::is_maskable(design.netlist.gate(g).type)) pool.push_back(g);
+  }
+
+  util::Xoshiro256 rng(config.seed ^ 0xc09717102baULL ^
+                       (design.netlist.gate_count() << 8));
+  const std::size_t mask_size = std::max<std::size_t>(1, config.mask_size);
+
+  while (pool.size() >= mask_size && stats.iterations < config.iterations) {
+    // S_gates <- random(Msize, R): partial Fisher-Yates from the back.
+    std::vector<GateId> selected;
+    selected.reserve(mask_size);
+    for (std::size_t i = 0; i < mask_size; ++i) {
+      const std::size_t j = rng.bounded(pool.size());
+      selected.push_back(pool[j]);
+      pool[j] = pool.back();
+      pool.pop_back();
+    }
+
+    const auto modified =
+        masking::apply_masking(design.netlist, selected, config.scheme);
+
+    leak_timer.reset();
+    const tvla::LeakageReport mod =
+        tvla::run_fixed_vs_random(modified.design, lib, tvla_config);
+    stats.leak_estimate_seconds += leak_timer.seconds();
+
+    for (const GateId g : selected) {
+      const double t_orig = std::fabs(original.t_value(g));
+      const double t_mod = std::fabs(mod.t_value(g));
+      int label = 0;
+      if (t_orig >= config.min_leak_for_label) {
+        const double ratio = 1.0 - t_mod / t_orig;  // compare(LG[i], Lmod[i])
+        label = ratio >= config.theta_r ? 1 : 0;
+      }
+      dataset.add(extractor.extract(g), label);
+      ++stats.samples;
+      stats.positives += static_cast<std::size_t>(label);
+    }
+    ++stats.iterations;
+  }
+  return stats;
+}
+
+}  // namespace polaris::core

@@ -1,0 +1,40 @@
+// Algorithm 1: Cognition Generation - the unsupervised training-data
+// factory (paper contribution 2).
+//
+//   Gr <- graphify(D);  LG <- leak_estimate(D)
+//   while Msize <= |Rgates| and run <= itr:
+//     Sgates <- random(Msize, Rgates);  Dmod <- modify(Sgates, D)
+//     Rgates <- Rgates - Sgates;  Lmod <- leak_estimate(Dmod)
+//     for i in Sgates:
+//       Sf <- structural_features(Gr, L, i)
+//       label <- [compare(LG[i], Lmod[i]) >= theta_r]
+//       append (Sf, label)
+//
+// compare() is the leakage-reduction ratio 1 - |t_mod|/|t_orig|; gates that
+// were not meaningfully leaky to begin with are labelled 0 (masking them is
+// wasted overhead), which matches the paper's intent of learning *where
+// masking pays off*.
+#pragma once
+
+#include "circuits/suite.hpp"
+#include "core/config.hpp"
+#include "ml/dataset.hpp"
+#include "techlib/techlib.hpp"
+
+namespace polaris::core {
+
+struct CognitionStats {
+  std::size_t iterations = 0;
+  std::size_t samples = 0;
+  std::size_t positives = 0;
+  double leak_estimate_seconds = 0.0;
+};
+
+/// Runs Algorithm 1 on one design and appends the labelled samples to
+/// `dataset`. Deterministic for a fixed config.
+CognitionStats generate_cognition_data(const circuits::Design& design,
+                                       const techlib::TechLibrary& lib,
+                                       const PolarisConfig& config,
+                                       ml::Dataset& dataset);
+
+}  // namespace polaris::core

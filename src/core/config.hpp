@@ -1,0 +1,78 @@
+// POLARIS tool configuration (paper contribution 3: "Implemented the
+// POLARIS framework as a parameterized tool").
+//
+// The key parameters mirror Sec. V-A: Msize = 200, L = 7, itr = 100,
+// theta_r = 0.70, AdaBoost as the default model.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "circuits/suite.hpp"
+#include "masking/masking.hpp"
+#include "ml/model.hpp"
+#include "tvla/tvla.hpp"
+
+namespace polaris::core {
+
+enum class ModelKind {
+  kRandomForest,
+  kXgboost,
+  kAdaBoost,  // the paper's pick (Table III)
+};
+
+[[nodiscard]] std::string to_string(ModelKind kind);
+
+struct PolarisConfig {
+  // --- Algorithm 1 (Cognition Generation) ---------------------------------
+  /// Msize: gates masked per random-insertion iteration.
+  std::size_t mask_size = 200;
+  /// L: BFS locality of the structural features.
+  std::size_t locality = 7;
+  /// itr: maximum random-insertion iterations per training design.
+  std::size_t iterations = 100;
+  /// theta_r: leakage-reduction ratio labelling a masking "good" (1).
+  double theta_r = 0.70;
+
+  // --- model ----------------------------------------------------------------
+  ModelKind model = ModelKind::kAdaBoost;
+  /// Learning rate for the boosted models (paper: 0.01).
+  double learning_rate = 0.01;
+  /// Boosting rounds / forest size.
+  std::size_t model_rounds = 300;
+  /// SMOTE for Random Forest, class weights for the boosted models
+  /// (Sec. V-B); disabled only for ablations.
+  bool handle_imbalance = true;
+
+  // --- leakage estimation -----------------------------------------------------
+  tvla::TvlaConfig tvla;
+  /// Minimum |t| a gate must show pre-masking for its reduction ratio to be
+  /// meaningful (below this the sample is labelled 0: nothing to fix).
+  double min_leak_for_label = 2.5;
+
+  // --- masking ---------------------------------------------------------------
+  masking::Scheme scheme = masking::Scheme::kTrichina;
+  /// Algorithm-2 refinement: blend each gate's score with its graph
+  /// neighbors' mean score before ranking. Masked regions only suppress
+  /// leakage *inside* the region (boundary demasking re-exposes crossing
+  /// signals), so coherent selections dominate scattered ones; smoothing
+  /// encodes that prior. 0 = off (the paper's literal per-gate ranking).
+  double coherence_smoothing = 0.5;
+
+  std::uint64_t seed = 1;
+};
+
+/// Instantiates the configured classifier.
+[[nodiscard]] std::unique_ptr<ml::Classifier> make_model(const PolarisConfig& config);
+
+/// Maps the suite's input roles onto the TVLA protocol classes.
+[[nodiscard]] std::vector<tvla::InputClass> input_classes_for(
+    const circuits::Design& design);
+
+/// TVLA config for a specific design: copies the template and fills the
+/// per-input classes from the design's roles.
+[[nodiscard]] tvla::TvlaConfig tvla_config_for(const PolarisConfig& config,
+                                               const circuits::Design& design);
+
+}  // namespace polaris::core

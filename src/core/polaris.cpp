@@ -1,0 +1,151 @@
+#include "core/polaris.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "graph/features.hpp"
+#include "masking/masking.hpp"
+#include "ml/smote.hpp"
+#include "util/timer.hpp"
+
+namespace polaris::core {
+
+using netlist::GateId;
+
+Polaris::Polaris(PolarisConfig config) : config_(std::move(config)) {
+  model_ = make_model(config_);
+}
+
+TrainingSummary Polaris::train(
+    std::span<const circuits::Design> training_designs,
+    const techlib::TechLibrary& lib) {
+  TrainingSummary summary;
+  data_ = ml::Dataset{};
+
+  util::Timer timer;
+  for (const auto& design : training_designs) {
+    generate_cognition_data(design, lib, config_, data_);
+  }
+  summary.dataset_seconds = timer.seconds();
+  summary.samples = data_.size();
+  summary.positives = data_.positives();
+  if (data_.empty()) {
+    throw std::runtime_error("Polaris::train: Algorithm 1 produced no samples");
+  }
+
+  // Imbalance handling (Sec. V-B): SMOTE for the forest, class-balance
+  // weights for the boosted models.
+  timer.reset();
+  if (config_.handle_imbalance) {
+    if (config_.model == ModelKind::kRandomForest) {
+      data_ = ml::smote_oversample(data_, ml::SmoteConfig{.seed = config_.seed});
+    } else {
+      data_.apply_class_balance_weights();
+    }
+  }
+  model_->fit(data_);
+  summary.training_seconds = timer.seconds();
+
+  timer.reset();
+  // Rule literals use only the binary structural features (type one-hots
+  // and sub-graph adjacency), matching the paper's Table V vocabulary; the
+  // three normalized scalars are excluded.
+  xai::RuleExtractionConfig rule_config;
+  const graph::FeatureSpec spec{config_.locality};
+  rule_config.allowed_features.assign(spec.dim(), true);
+  for (std::size_t f = spec.dim() - spec.scalar_dims(); f < spec.dim(); ++f) {
+    rule_config.allowed_features[f] = false;
+  }
+  rules_ = xai::extract_rules(*model_, data_, rule_config);
+  summary.rules_seconds = timer.seconds();
+
+  trained_ = true;
+  return summary;
+}
+
+std::vector<double> Polaris::score_gates(const circuits::Design& design,
+                                         InferenceMode mode) const {
+  if (!trained_) throw std::logic_error("Polaris: model not trained");
+  graph::FeatureExtractor extractor(design.netlist,
+                                    graph::FeatureSpec{config_.locality});
+  std::vector<double> scores(design.netlist.gate_count(), 0.0);
+  for (GateId g = 0; g < design.netlist.gate_count(); ++g) {
+    if (!netlist::is_maskable(design.netlist.gate(g).type)) continue;
+    const auto features = extractor.extract(g);
+    switch (mode) {
+      case InferenceMode::kModel:
+        scores[g] = model_->predict_proba(features);
+        break;
+      case InferenceMode::kRules:
+        scores[g] = rules_.score(features);
+        break;
+      case InferenceMode::kModelPlusRules:
+        scores[g] = rules_.combined_score(*model_, features);
+        break;
+    }
+  }
+
+  // Coherence smoothing (see PolarisConfig): pull each maskable gate's
+  // score toward its maskable neighbors' mean so contiguous regions rise
+  // through the ranking together.
+  const double alpha = config_.coherence_smoothing;
+  if (alpha > 0.0) {
+    const auto& graph = extractor.graph();
+    std::vector<double> smoothed = scores;
+    for (GateId g = 0; g < design.netlist.gate_count(); ++g) {
+      if (!netlist::is_maskable(design.netlist.gate(g).type)) continue;
+      double sum = 0.0;
+      std::size_t count = 0;
+      for (const GateId nb : graph.neighbors(g)) {
+        if (netlist::is_maskable(design.netlist.gate(nb).type)) {
+          sum += scores[nb];
+          ++count;
+        }
+      }
+      if (count != 0) {
+        smoothed[g] = (1.0 - alpha) * scores[g] + alpha * sum /
+                                                      static_cast<double>(count);
+      }
+    }
+    scores.swap(smoothed);
+  }
+  return scores;
+}
+
+MaskingOutcome Polaris::mask_design(const circuits::Design& design,
+                                    const techlib::TechLibrary& lib,
+                                    std::size_t mask_size, InferenceMode mode,
+                                    bool verify) const {
+  util::Timer timer;
+
+  // Algorithm 2 lines 4-8: score every gate, sort descending; Ctop is the
+  // top Msize of the ranking (scores are model probabilities, so per-design
+  // calibration shifts do not matter - only the order does).
+  const auto scores = score_gates(design, mode);
+  std::vector<GateId> ranked;
+  ranked.reserve(scores.size());
+  for (GateId g = 0; g < scores.size(); ++g) {
+    if (scores[g] > 0.0) ranked.push_back(g);
+  }
+  std::sort(ranked.begin(), ranked.end(), [&](GateId a, GateId b) {
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    return a < b;  // deterministic tie-break
+  });
+  if (ranked.size() > mask_size) ranked.resize(mask_size);
+
+  // Line 9: modify(D, Ctop, Msize).
+  auto rewritten =
+      masking::apply_masking(design.netlist, ranked, config_.scheme);
+
+  MaskingOutcome outcome{std::move(rewritten.design), std::move(ranked),
+                         timer.seconds(), std::nullopt};
+
+  if (verify) {  // line 10: leakage estimate of the masked design
+    outcome.verification = tvla::run_fixed_vs_random(
+        outcome.masked, lib, tvla_config_for(config_, design));
+  }
+  return outcome;
+}
+
+}  // namespace polaris::core

@@ -1,0 +1,78 @@
+// The POLARIS framework (paper Fig. 2): knowledge extraction + model
+// training (stage i), SHAP interpretation and rule generation (stage ii),
+// and model-guided masking (stage iii, Algorithm 2).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "circuits/suite.hpp"
+#include "core/cognition.hpp"
+#include "core/config.hpp"
+#include "ml/model.hpp"
+#include "techlib/techlib.hpp"
+#include "tvla/tvla.hpp"
+#include "xai/rules.hpp"
+
+namespace polaris::core {
+
+/// How Algorithm 2 scores gates: the trained model, the extracted rules
+/// standalone, or the rule-augmented model (Sec. IV-B).
+enum class InferenceMode { kModel, kRules, kModelPlusRules };
+
+struct TrainingSummary {
+  std::size_t samples = 0;
+  std::size_t positives = 0;
+  double dataset_seconds = 0.0;   // Algorithm 1 (incl. TVLA labelling)
+  double training_seconds = 0.0;  // model fit
+  double rules_seconds = 0.0;     // SHAP + rule mining
+};
+
+struct MaskingOutcome {
+  netlist::Netlist masked;
+  std::vector<netlist::GateId> selected;  // gates replaced, ranked order
+  /// Inference + sort + rewrite - the flow runtime Table II reports for
+  /// POLARIS (no TVLA involved).
+  double seconds = 0.0;
+  /// Post-masking verification TVLA (Algorithm 2 line 10), if requested.
+  std::optional<tvla::LeakageReport> verification;
+};
+
+class Polaris {
+ public:
+  explicit Polaris(PolarisConfig config = {});
+
+  /// Stages i+ii: Algorithm 1 over every training design, imbalance
+  /// handling (SMOTE / class weights), model fit, rule extraction.
+  TrainingSummary train(std::span<const circuits::Design> training_designs,
+                        const techlib::TechLibrary& lib);
+
+  /// Algorithm 2: scores every maskable gate, masks the top `mask_size`.
+  /// `verify` additionally runs the line-10 leakage estimate on the result.
+  [[nodiscard]] MaskingOutcome mask_design(
+      const circuits::Design& design, const techlib::TechLibrary& lib,
+      std::size_t mask_size, InferenceMode mode = InferenceMode::kModel,
+      bool verify = false) const;
+
+  /// Gate scores (probability of "good mask") for a whole design, indexed
+  /// by gate id (non-maskable gates score 0).
+  [[nodiscard]] std::vector<double> score_gates(const circuits::Design& design,
+                                                InferenceMode mode) const;
+
+  [[nodiscard]] const ml::Classifier& model() const { return *model_; }
+  [[nodiscard]] const xai::RuleSet& rules() const { return rules_; }
+  [[nodiscard]] const ml::Dataset& training_data() const { return data_; }
+  [[nodiscard]] const PolarisConfig& config() const { return config_; }
+  [[nodiscard]] bool trained() const { return trained_; }
+
+ private:
+  PolarisConfig config_;
+  std::unique_ptr<ml::Classifier> model_;
+  xai::RuleSet rules_;
+  ml::Dataset data_;
+  bool trained_ = false;
+};
+
+}  // namespace polaris::core

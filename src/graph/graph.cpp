@@ -1,0 +1,72 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+namespace polaris::graph {
+
+using netlist::GateId;
+
+GraphView::GraphView(const netlist::Netlist& netlist) {
+  const std::size_t n = netlist.gate_count();
+  std::vector<std::vector<GateId>> adj(n);
+  for (GateId g = 0; g < n; ++g) {
+    const auto& gate = netlist.gate(g);
+    for (const auto in : gate.inputs) {
+      const GateId driver = netlist.net(in).driver;
+      if (driver != g) {
+        adj[g].push_back(driver);
+        adj[driver].push_back(g);
+      }
+    }
+  }
+  offsets_.assign(n + 1, 0);
+  for (GateId g = 0; g < n; ++g) {
+    auto& list = adj[g];
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+    offsets_[g + 1] = offsets_[g] + list.size();
+  }
+  adjacency_.resize(offsets_.back());
+  for (GateId g = 0; g < n; ++g) {
+    std::copy(adj[g].begin(), adj[g].end(), adjacency_.begin() +
+                                                static_cast<std::ptrdiff_t>(offsets_[g]));
+  }
+}
+
+bool GraphView::adjacent(GateId a, GateId b) const {
+  const auto span = neighbors(a);
+  return std::binary_search(span.begin(), span.end(), b);
+}
+
+std::vector<GateId> bfs_neighborhood(const GraphView& graph, GateId start,
+                                     std::size_t limit, BfsScratch& scratch) {
+  std::vector<GateId> result;
+  if (limit == 0) return result;
+  result.reserve(limit);
+  scratch.reset(graph.node_count());
+  scratch.mark(start);
+  std::vector<GateId> frontier{start};
+  std::vector<GateId> next;
+  while (!frontier.empty() && result.size() < limit) {
+    next.clear();
+    for (const GateId node : frontier) {
+      for (const GateId nb : graph.neighbors(node)) {
+        if (scratch.marked(nb)) continue;
+        scratch.mark(nb);
+        result.push_back(nb);
+        if (result.size() == limit) return result;
+        next.push_back(nb);
+      }
+    }
+    frontier.swap(next);
+  }
+  return result;
+}
+
+std::vector<GateId> bfs_neighborhood(const GraphView& graph, GateId start,
+                                     std::size_t limit) {
+  BfsScratch scratch;
+  return bfs_neighborhood(graph, start, limit, scratch);
+}
+
+}  // namespace polaris::graph

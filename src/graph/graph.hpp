@@ -1,0 +1,75 @@
+// Undirected graph view Gr = (V, E) of a netlist (paper Sec. IV-A:
+// "converts any digital design represented as gate-level netlist (D) into a
+// graph Gr = (V, E) where V: gates and E: interconnections").
+//
+// Stored in CSR form so neighbor iteration during feature extraction over
+// every gate of a large design is cache-friendly and allocation-free.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace polaris::graph {
+
+class GraphView {
+ public:
+  explicit GraphView(const netlist::Netlist& netlist);
+
+  [[nodiscard]] std::size_t node_count() const { return offsets_.size() - 1; }
+
+  /// Deduplicated, id-sorted undirected neighbors of a gate
+  /// (drivers of its input nets + readers of its output net).
+  [[nodiscard]] std::span<const netlist::GateId> neighbors(
+      netlist::GateId gate) const {
+    return {&adjacency_[offsets_[gate]], offsets_[gate + 1] - offsets_[gate]};
+  }
+
+  /// True if gates a and b share a net (O(log deg)).
+  [[nodiscard]] bool adjacent(netlist::GateId a, netlist::GateId b) const;
+
+  [[nodiscard]] std::size_t degree(netlist::GateId gate) const {
+    return offsets_[gate + 1] - offsets_[gate];
+  }
+
+ private:
+  std::vector<std::size_t> offsets_;
+  std::vector<netlist::GateId> adjacency_;
+};
+
+/// Reusable visited-marking scratch so per-gate BFS over a large design does
+/// not re-zero an O(V) array each call (stamp-based invalidation).
+class BfsScratch {
+ public:
+  void mark(netlist::GateId node) { marks_[node] = stamp_; }
+  [[nodiscard]] bool marked(netlist::GateId node) const {
+    return marks_[node] == stamp_;
+  }
+  void reset(std::size_t node_count) {
+    if (marks_.size() != node_count) marks_.assign(node_count, 0);
+    if (++stamp_ == 0) {  // wrapped: clear and restart
+      std::fill(marks_.begin(), marks_.end(), 0);
+      stamp_ = 1;
+    }
+  }
+
+ private:
+  std::vector<std::uint32_t> marks_;
+  std::uint32_t stamp_ = 0;
+};
+
+/// First `limit` gates reached by BFS from `start` (excluding `start`),
+/// in deterministic order (per-level, neighbors sorted by id). This is the
+/// "Locality L" neighborhood of Sec. IV-A / Fig. 2.
+[[nodiscard]] std::vector<netlist::GateId> bfs_neighborhood(
+    const GraphView& graph, netlist::GateId start, std::size_t limit,
+    BfsScratch& scratch);
+
+/// Convenience overload with its own scratch (tests, one-off queries).
+[[nodiscard]] std::vector<netlist::GateId> bfs_neighborhood(
+    const GraphView& graph, netlist::GateId start, std::size_t limit);
+
+}  // namespace polaris::graph

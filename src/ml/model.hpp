@@ -1,0 +1,34 @@
+// Uniform classifier interface for the three POLARIS model options
+// (Table III). All models expose their fitted TreeEnsemble so the XAI layer
+// can run exact TreeSHAP regardless of which model was selected.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "ml/dataset.hpp"
+#include "ml/tree.hpp"
+
+namespace polaris::ml {
+
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  virtual void fit(const Dataset& data) = 0;
+
+  /// Raw additive score (margin space; what SHAP values decompose).
+  [[nodiscard]] virtual double predict_margin(std::span<const double> x) const = 0;
+  /// Probability of class 1.
+  [[nodiscard]] virtual double predict_proba(std::span<const double> x) const = 0;
+  [[nodiscard]] int predict(std::span<const double> x) const {
+    return predict_proba(x) >= 0.5 ? 1 : 0;
+  }
+
+  /// Fitted additive-tree view (valid after fit()).
+  [[nodiscard]] virtual const TreeEnsemble& ensemble() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace polaris::ml

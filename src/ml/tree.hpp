@@ -1,0 +1,88 @@
+// CART decision trees and the shared tree-ensemble representation.
+//
+// All three POLARIS models (Random Forest, XGBoost-style GBDT, AdaBoost;
+// Table III) reduce to weighted sums of binary decision trees over the
+// structural feature vector, which is also exactly what the exact TreeSHAP
+// algorithm consumes. Node `cover` (total training weight that reached the
+// node) is retained for SHAP's expected-value traversal.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace polaris::ml {
+
+struct TreeNode {
+  std::int32_t feature = -1;   // -1 for leaves
+  double threshold = 0.0;      // go left if x[feature] <= threshold
+  std::int32_t left = -1;
+  std::int32_t right = -1;
+  double value = 0.0;          // leaf output (probability or margin term)
+  double cover = 0.0;          // training weight through this node
+
+  [[nodiscard]] bool is_leaf() const { return feature < 0; }
+};
+
+struct Tree {
+  std::vector<TreeNode> nodes;  // nodes[0] is the root
+
+  [[nodiscard]] double predict(std::span<const double> x) const;
+  [[nodiscard]] std::size_t depth() const;
+  [[nodiscard]] std::size_t leaf_count() const;
+};
+
+/// Weighted additive ensemble: margin(x) = base + sum_t weight_t * tree_t(x).
+/// The link maps margin to probability.
+struct TreeEnsemble {
+  enum class Link { kIdentity, kLogistic };
+
+  struct WeightedTree {
+    Tree tree;
+    double weight = 1.0;
+  };
+
+  std::vector<WeightedTree> trees;
+  double base = 0.0;
+  Link link = Link::kIdentity;
+
+  [[nodiscard]] double margin(std::span<const double> x) const;
+  [[nodiscard]] double probability(std::span<const double> x) const;
+};
+
+/// CART configuration.
+struct TreeConfig {
+  std::size_t max_depth = 6;
+  std::size_t min_samples_leaf = 2;
+  /// Zero allows zero-gain splits on impure nodes (required for XOR-style
+  /// interactions whose gain only appears one level down).
+  double min_impurity_decrease = 0.0;
+  /// 0 = consider all features at each split; otherwise sample this many.
+  std::size_t features_per_split = 0;
+  std::uint64_t seed = 1;
+};
+
+/// Fits a weighted-Gini classification tree; leaf value = weighted positive
+/// fraction. `sample_indices` selects (with multiplicity) the training rows.
+[[nodiscard]] Tree fit_classification_tree(const Dataset& data,
+                                           std::span<const std::size_t> indices,
+                                           const TreeConfig& config);
+
+/// Fits a second-order regression tree on gradient/hessian pairs (XGBoost
+/// objective): leaf value = -sum(g)/(sum(h) + lambda), split gain per the
+/// standard formula with regularization lambda and minimum gain gamma.
+struct BoostTreeConfig {
+  std::size_t max_depth = 4;
+  double lambda = 1.0;
+  double gamma = 0.0;
+  std::size_t min_samples_leaf = 2;
+};
+[[nodiscard]] Tree fit_boost_tree(const Dataset& data,
+                                  std::span<const double> gradients,
+                                  std::span<const double> hessians,
+                                  const BoostTreeConfig& config);
+
+}  // namespace polaris::ml

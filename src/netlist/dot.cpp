@@ -1,0 +1,29 @@
+#include "netlist/dot.hpp"
+
+#include <sstream>
+
+namespace polaris::netlist {
+
+std::string to_dot(const Netlist& netlist) {
+  std::ostringstream out;
+  out << "digraph \"" << netlist.name() << "\" {\n";
+  out << "  rankdir=LR;\n  node [shape=box, fontsize=10];\n";
+  for (GateId g = 0; g < netlist.gate_count(); ++g) {
+    const Gate& gate = netlist.gate(g);
+    const char* shape = is_source(gate.type) ? "ellipse"
+                        : gate.type == CellType::kDff ? "Msquare"
+                                                      : "box";
+    out << "  g" << g << " [label=\"" << to_string(gate.type) << "\\ng" << g
+        << "\", shape=" << shape << "];\n";
+  }
+  for (GateId g = 0; g < netlist.gate_count(); ++g) {
+    const Gate& gate = netlist.gate(g);
+    for (const NetId in : gate.inputs) {
+      out << "  g" << netlist.net(in).driver << " -> g" << g << ";\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace polaris::netlist

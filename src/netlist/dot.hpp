@@ -1,0 +1,14 @@
+// Graphviz DOT export for small design inspection (documentation figures).
+#pragma once
+
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace polaris::netlist {
+
+/// Renders gates as nodes (labelled with type) and nets as edges. Intended
+/// for designs of up to a few hundred gates.
+[[nodiscard]] std::string to_dot(const Netlist& netlist);
+
+}  // namespace polaris::netlist

@@ -1,0 +1,57 @@
+#include "netlist/stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace polaris::netlist {
+
+DesignStats compute_stats(const Netlist& netlist) {
+  DesignStats stats;
+  stats.gates = netlist.gate_count();
+  stats.nets = netlist.net_count();
+  stats.inputs = netlist.primary_inputs().size();
+  stats.outputs = netlist.primary_outputs().size();
+
+  std::size_t fanin_sum = 0;
+  for (const Gate& gate : netlist.gates()) {
+    stats.type_histogram[static_cast<std::size_t>(gate.type)]++;
+    if (is_combinational(gate.type)) {
+      ++stats.combinational;
+      fanin_sum += gate.inputs.size();
+    } else if (gate.type == CellType::kDff) {
+      ++stats.sequential;
+    }
+  }
+  stats.avg_fanin = stats.combinational == 0
+                        ? 0.0
+                        : static_cast<double>(fanin_sum) /
+                              static_cast<double>(stats.combinational);
+
+  std::size_t fanout_sum = 0;
+  for (const Net& net : netlist.nets()) fanout_sum += net.fanouts.size();
+  stats.avg_fanout = stats.nets == 0 ? 0.0
+                                     : static_cast<double>(fanout_sum) /
+                                           static_cast<double>(stats.nets);
+
+  const auto levels = netlist.levels();
+  stats.depth = levels.empty() ? 0 : *std::max_element(levels.begin(), levels.end());
+  return stats;
+}
+
+std::string to_string(const DesignStats& stats) {
+  std::ostringstream out;
+  out << "gates=" << stats.gates << " (comb=" << stats.combinational
+      << ", seq=" << stats.sequential << ")"
+      << " nets=" << stats.nets << " PI=" << stats.inputs
+      << " PO=" << stats.outputs << " depth=" << stats.depth << "\n";
+  out << "type histogram:";
+  for (std::size_t t = 0; t < kCellTypeCount; ++t) {
+    if (stats.type_histogram[t] == 0) continue;
+    out << ' ' << netlist::to_string(static_cast<CellType>(t)) << '='
+        << stats.type_histogram[t];
+  }
+  out << '\n';
+  return out.str();
+}
+
+}  // namespace polaris::netlist

@@ -1,0 +1,30 @@
+// Design statistics used in reports and by the training-design selector.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace polaris::netlist {
+
+struct DesignStats {
+  std::size_t gates = 0;          // all cells
+  std::size_t combinational = 0;  // maskable universe + buf/not/mux
+  std::size_t sequential = 0;     // DFFs
+  std::size_t inputs = 0;
+  std::size_t outputs = 0;
+  std::size_t nets = 0;
+  std::uint32_t depth = 0;        // max logic level
+  double avg_fanin = 0.0;         // over combinational gates
+  double avg_fanout = 0.0;        // over all nets
+  std::array<std::size_t, kCellTypeCount> type_histogram{};
+};
+
+[[nodiscard]] DesignStats compute_stats(const Netlist& netlist);
+
+/// Multi-line human-readable summary.
+[[nodiscard]] std::string to_string(const DesignStats& stats);
+
+}  // namespace polaris::netlist

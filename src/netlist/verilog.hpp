@@ -1,0 +1,34 @@
+// Structural-Verilog front-end: the integration point with an ASIC flow
+// (paper contribution 3: "Implemented the POLARIS framework as a
+// parameterized tool & integrated it into the ASIC design flow").
+//
+// Supported subset (what a mapped, flattened netlist needs):
+//   module NAME (port, ...);
+//   input  a, b, ...;      output y, ...;      wire w1, ...;
+//   and|or|nand|nor|xor|xnor|not|buf INST (out, in...);
+//   mux INST (out, sel, a, b);   dff INST (q, d);   rand INST (r);
+//   const0 INST (n);  const1 INST (n);
+//   assign n = 1'b0; / assign n = 1'b1; / assign a = b;
+//   endmodule
+// Comments (// and /* */) are stripped. One module per file.
+#pragma once
+
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace polaris::netlist {
+
+/// Serializes a netlist to the structural subset above. Net names are
+/// sanitized to Verilog identifiers (non-alphanumerics become '_').
+[[nodiscard]] std::string to_verilog(const Netlist& netlist);
+
+/// Parses the structural subset. Throws std::runtime_error with a
+/// line-numbered message on syntax or structural errors.
+[[nodiscard]] Netlist from_verilog(const std::string& text);
+
+/// File helpers (throw std::runtime_error on I/O failure).
+void write_verilog_file(const Netlist& netlist, const std::string& path);
+[[nodiscard]] Netlist read_verilog_file(const std::string& path);
+
+}  // namespace polaris::netlist

@@ -1,0 +1,36 @@
+#include "power/power_model.hpp"
+
+namespace polaris::power {
+
+using netlist::GateId;
+
+PowerModel::PowerModel(const netlist::Netlist& netlist,
+                       const techlib::TechLibrary& lib)
+    : netlist_(netlist) {
+  energies_.resize(netlist.gate_count());
+  for (GateId g = 0; g < netlist.gate_count(); ++g) {
+    const auto& gate = netlist.gate(g);
+    const std::size_t fanout = netlist.net(gate.output).fanouts.size();
+    energies_[g] = lib.switch_energy(gate.type, gate.inputs.size()) +
+                   kLoadEnergyPerFanoutFj * static_cast<double>(fanout);
+    static_leakage_nw_ += lib.leakage(gate.type, gate.inputs.size());
+  }
+}
+
+void PowerModel::total_power(const sim::Simulator& simulator,
+                             std::vector<double>& out_per_lane) const {
+  out_per_lane.assign(sim::kLanes, 0.0);
+  for (GateId g = 0; g < netlist_.gate_count(); ++g) {
+    const std::uint64_t toggles = simulator.toggles(g);
+    if (toggles == 0) continue;
+    const double energy = energies_[g];
+    std::uint64_t bits = toggles;
+    while (bits != 0) {
+      const int lane = __builtin_ctzll(bits);
+      out_per_lane[static_cast<std::size_t>(lane)] += energy;
+      bits &= bits - 1;
+    }
+  }
+}
+
+}  // namespace polaris::power

@@ -1,0 +1,48 @@
+// Hamming-distance (toggle-count) dynamic power model.
+//
+// Per cycle, a gate that toggles its output dissipates its switching energy
+// E_g = E_cell(type, fan-in) + E_load * fanout. This is the standard
+// zero-delay pre-silicon power proxy targeted by first-order DPA and by
+// simulation-based TVLA flows (which is what the paper itself uses).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sim/simulator.hpp"
+#include "techlib/techlib.hpp"
+
+namespace polaris::power {
+
+class PowerModel {
+ public:
+  PowerModel(const netlist::Netlist& netlist, const techlib::TechLibrary& lib);
+
+  /// Switching energy (fJ) charged when gate g toggles.
+  [[nodiscard]] double gate_energy(netlist::GateId gate) const {
+    return energies_[gate];
+  }
+  [[nodiscard]] const std::vector<double>& gate_energies() const {
+    return energies_;
+  }
+
+  /// Total-power samples for all 64 lanes of the simulator's last eval():
+  /// out[l] = sum over gates of E_g * toggle_g[lane l]. This is the
+  /// "aggregate power trace" view an oscilloscope-level attacker sees.
+  void total_power(const sim::Simulator& simulator,
+                   std::vector<double>& out_per_lane) const;
+
+  /// Static leakage power (nW) of the whole design (activity-independent).
+  [[nodiscard]] double static_leakage() const { return static_leakage_nw_; }
+
+ private:
+  const netlist::Netlist& netlist_;
+  std::vector<double> energies_;
+  double static_leakage_nw_ = 0.0;
+};
+
+/// Per-fanout load energy (fJ) added on top of the cell switching energy.
+inline constexpr double kLoadEnergyPerFanoutFj = 0.12;
+
+}  // namespace polaris::power

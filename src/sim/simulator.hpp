@@ -1,0 +1,91 @@
+// Levelized, 64-lane bit-parallel, two-state logic simulator.
+//
+// Each std::uint64_t word holds one signal across 64 independent simulation
+// lanes (traces). One eval() is one clock cycle: sources are refreshed
+// (constants, fresh mask randomness, DFF state), then the combinational wave
+// runs in topological order. latch() commits DFF next-state.
+//
+// Toggle words (value XOR previous value, per gate output) are the input to
+// the Hamming-distance power model (power module) and to TVLA accumulation.
+//
+// Model notes (documented substitutions, see DESIGN.md):
+//  * zero-delay evaluation - no glitch power;
+//  * two-state logic - DFFs initialize to 0, no X propagation;
+//  * kRand cells draw from a deterministic xoshiro stream (per-simulator
+//    seed), modelling the on-chip mask-share PRNG.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "util/rng.hpp"
+
+namespace polaris::sim {
+
+inline constexpr std::size_t kLanes = 64;
+
+class Simulator {
+ public:
+  explicit Simulator(const netlist::Netlist& netlist,
+                     std::uint64_t seed = 0x51313ab1e5eedULL);
+
+  [[nodiscard]] const netlist::Netlist& design() const { return netlist_; }
+
+  /// Sets the 64-lane value of the i-th primary input for the next eval().
+  void set_input(std::size_t pi_index, std::uint64_t word);
+  /// Same, addressed by net (must be a primary-input net).
+  void set_input_net(netlist::NetId net, std::uint64_t word);
+  /// Fills every primary input with fresh random words.
+  void set_inputs_random();
+  /// Per-input word = (fixed bit broadcast & fixed_mask) | (random & ~mask):
+  /// lanes selected by `fixed_mask` see `fixed[i]`, others see random bits.
+  /// This is exactly the fixed-vs-random stimulus split of TVLA.
+  void set_inputs_mixed(const std::vector<bool>& fixed, std::uint64_t fixed_mask);
+
+  /// One combinational evaluation (one cycle worth of settled values).
+  void eval();
+  /// Commits DFF next state (q <= d). No-op for purely combinational designs.
+  void latch();
+  /// Clears DFF state and all signal values to 0 and reseeds mask randomness.
+  void reset(std::uint64_t seed);
+
+  [[nodiscard]] std::uint64_t value(netlist::NetId net) const {
+    return values_[net];
+  }
+  /// Output-toggle word of a gate: value XOR value-at-previous-eval.
+  [[nodiscard]] std::uint64_t toggles(netlist::GateId gate) const {
+    const netlist::NetId out = netlist_.gate(gate).output;
+    return values_[out] ^ previous_[out];
+  }
+
+  /// Single-lane convenience for functional tests: applies `bits` to the
+  /// primary inputs (lane 0), evaluates, and returns lane-0 output bits in
+  /// primary_outputs() order. Does not latch.
+  [[nodiscard]] std::vector<bool> eval_single(const std::vector<bool>& bits);
+
+  /// Number of evals since construction/reset (cycle counter).
+  [[nodiscard]] std::uint64_t cycle() const { return cycle_; }
+
+ private:
+  struct Op {
+    netlist::CellType type;
+    std::uint32_t fan_in;
+    std::uint32_t input_offset;  // into input_nets_
+    netlist::NetId output;
+    netlist::GateId gate;
+  };
+
+  const netlist::Netlist& netlist_;
+  util::Xoshiro256 rng_;
+  std::vector<Op> comb_schedule_;       // combinational gates, topo order
+  std::vector<netlist::NetId> input_nets_;  // flattened operand lists
+  std::vector<netlist::NetId> const0_nets_, const1_nets_, rand_nets_;
+  std::vector<std::pair<netlist::NetId, netlist::NetId>> dff_q_d_;  // (q, d)
+  std::vector<std::uint64_t> values_;
+  std::vector<std::uint64_t> previous_;
+  std::vector<std::uint64_t> dff_state_;
+  std::uint64_t cycle_ = 0;
+};
+
+}  // namespace polaris::sim

@@ -1,0 +1,50 @@
+// One-pass raw/central moment computation.
+//
+// Paper Sec. II-A: "TVLA trace collection is slow due to repeated mean and
+// variance calculations. To accelerate it, [Schneider-Moradi 2015] proposed
+// an efficient one-pass method for raw and central moments computation
+// during trace acquisition", Eq. 3:  M1' = M1 + delta/n, and Eq. 4:
+// mu = M1, s^2 = CM2 = M2 - M1^2, extensible to d > 1.
+//
+// We implement the numerically stable incremental update of the centered
+// power sums Sd = sum (x - mean)^d for d = 2..4 (Pebay's formulas, which are
+// the same family the Schneider-Moradi paper derives), plus a pairwise
+// merge() so accumulators can be combined across batches. The naive two-pass
+// reference (Eq. 2) lives in welch.hpp for tests and the ablation bench.
+#pragma once
+
+#include <cstddef>
+
+namespace polaris::tvla {
+
+class MomentAccumulator {
+ public:
+  void add(double x) noexcept;
+
+  /// Combine with another accumulator (Chan/Pebay pairwise update).
+  void merge(const MomentAccumulator& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+
+  /// Central moment CM_d = S_d / n (population form, as in Eq. 4).
+  [[nodiscard]] double central_moment(int d) const noexcept;
+
+  /// Population variance CM2 (paper Eq. 4) and unbiased sample variance.
+  [[nodiscard]] double variance_population() const noexcept;
+  [[nodiscard]] double variance_sample() const noexcept;
+
+  /// Standardized moments: skewness (d=3), kurtosis (d=4). Zero variance
+  /// yields 0.
+  [[nodiscard]] double skewness() const noexcept;
+  [[nodiscard]] double kurtosis() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double s2_ = 0.0;  // sum (x-mean)^2
+  double s3_ = 0.0;
+  double s4_ = 0.0;
+};
+
+}  // namespace polaris::tvla

@@ -1,0 +1,332 @@
+#include "tvla/tvla.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "power/power_model.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace polaris::tvla {
+
+using netlist::GateId;
+using netlist::NetId;
+
+LeakageReport::LeakageReport(std::vector<double> t_per_group,
+                             std::vector<bool> measured, double threshold)
+    : t_per_group_(std::move(t_per_group)),
+      measured_(std::move(measured)),
+      threshold_(threshold) {}
+
+std::size_t LeakageReport::measured_count() const {
+  return static_cast<std::size_t>(
+      std::count(measured_.begin(), measured_.end(), true));
+}
+
+std::vector<GateId> LeakageReport::leaky_groups() const {
+  std::vector<GateId> leaky;
+  for (GateId g = 0; g < t_per_group_.size(); ++g) {
+    if (measured_[g] && std::abs(t_per_group_[g]) > threshold_) leaky.push_back(g);
+  }
+  std::sort(leaky.begin(), leaky.end(), [this](GateId a, GateId b) {
+    return std::abs(t_per_group_[a]) > std::abs(t_per_group_[b]);
+  });
+  return leaky;
+}
+
+double LeakageReport::total_abs_t() const {
+  double total = 0.0;
+  for (GateId g = 0; g < t_per_group_.size(); ++g) {
+    if (measured_[g]) total += std::abs(t_per_group_[g]);
+  }
+  return total;
+}
+
+double LeakageReport::leakage_per_gate() const {
+  const std::size_t n = measured_count();
+  return n == 0 ? 0.0 : total_abs_t() / static_cast<double>(n);
+}
+
+namespace {
+
+enum class Mode { kFixedVsRandom, kFixedVsFixed };
+
+std::vector<bool> derive_fixed_vector(std::size_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<bool> bits(n);
+  for (std::size_t i = 0; i < n; ++i) bits[i] = (rng() & 1ULL) != 0;
+  return bits;
+}
+
+class Campaign {
+ public:
+  Campaign(const netlist::Netlist& design, const techlib::TechLibrary& lib,
+           const TvlaConfig& config, Mode mode)
+      : design_(design),
+        config_(config),
+        mode_(mode),
+        power_(design, lib),
+        master_(config.seed),
+        stimulus_(config.seed ^ 0x571371a5ULL),
+        simulator_(design, config.seed ^ 0x5e1f5eedULL) {
+    const std::size_t n_inputs = design.primary_inputs().size();
+    fixed_a_ = config.fixed_input.empty()
+                   ? derive_fixed_vector(n_inputs, config.seed ^ 0xf1e1dcafeULL)
+                   : config.fixed_input;
+    fixed_b_ = config.fixed_input_b.empty()
+                   ? derive_fixed_vector(n_inputs, config.seed ^ 0xbeefULL)
+                   : config.fixed_input_b;
+    if (fixed_a_.size() != n_inputs || fixed_b_.size() != n_inputs) {
+      throw std::invalid_argument("TVLA fixed vector size mismatch");
+    }
+    if (!config.input_class.empty() && config.input_class.size() != n_inputs) {
+      throw std::invalid_argument("TVLA input_class size mismatch");
+    }
+    classify_groups();
+  }
+
+  LeakageReport run() {
+    const bool sequential = !design_sequential_empty();
+    const std::size_t lanes = sim::kLanes;
+    const std::size_t samples_per_batch =
+        sequential ? lanes * config_.cycles_per_batch : lanes;
+    const std::size_t batches =
+        config_.traces == 0
+            ? 0
+            : (config_.traces + samples_per_batch - 1) / samples_per_batch;
+
+    for (std::size_t b = 0; b < batches; ++b) {
+      if (sequential) run_sequential_batch(b);
+      else run_combinational_batch();
+    }
+    return finalize();
+  }
+
+ private:
+  [[nodiscard]] bool design_sequential_empty() const {
+    for (const auto& gate : design_.gates()) {
+      if (gate.type == netlist::CellType::kDff) return false;
+    }
+    return true;
+  }
+
+  void classify_groups() {
+    GateId max_group = 0;
+    for (const auto& gate : design_.gates()) {
+      max_group = std::max(max_group, gate.group);
+    }
+    group_count_ = static_cast<std::size_t>(max_group) + 1;
+
+    std::vector<std::uint32_t> group_size(group_count_, 0);
+    for (GateId g = 0; g < design_.gate_count(); ++g) {
+      if (power_.gate_energy(g) > 0.0) {
+        measured_gates_.push_back(g);
+        group_size[design_.gate(g).group]++;
+      }
+    }
+    group_measured_.assign(group_count_, false);
+    group_multi_index_.assign(group_count_, kNotMulti);
+    for (const GateId g : measured_gates_) {
+      group_measured_[design_.gate(g).group] = true;
+    }
+    // Multi-member groups need real-valued samples; single-member groups use
+    // the binary counting fast path.
+    for (GateId grp = 0; grp < group_count_; ++grp) {
+      if (group_size[grp] > 1) {
+        group_multi_index_[grp] = static_cast<std::uint32_t>(multi_group_ids_.size());
+        multi_group_ids_.push_back(grp);
+      }
+    }
+    single_ones_fixed_.assign(group_count_, 0);
+    single_ones_random_.assign(group_count_, 0);
+    // For single-member groups the binary counters need the member's energy
+    // to place the {0, E} samples on the physical scale the noise floor
+    // lives on.
+    single_energy_.assign(group_count_, 0.0);
+    for (const GateId g : measured_gates_) {
+      const GateId grp = design_.gate(g).group;
+      if (group_multi_index_[grp] == kNotMulti) {
+        single_energy_[grp] = power_.gate_energy(g);
+      }
+    }
+    multi_acc_fixed_.resize(multi_group_ids_.size());
+    multi_acc_random_.resize(multi_group_ids_.size());
+    lane_sums_.assign(multi_group_ids_.size() * sim::kLanes, 0.0);
+  }
+
+  [[nodiscard]] InputClass input_class(std::size_t pi_index) const {
+    return config_.input_class.empty() ? InputClass::kSensitive
+                                       : config_.input_class[pi_index];
+  }
+
+  /// Pre-transition state: every trace starts from a fresh random vector on
+  /// data-like inputs; fixed-common inputs (the key) hold their fixed value
+  /// even between traces, as a loaded key register would.
+  void apply_base_inputs() {
+    const auto& inputs = design_.primary_inputs();
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      const std::uint64_t word = input_class(i) == InputClass::kFixedCommon
+                                     ? (fixed_a_[i] ? ~0ULL : 0ULL)
+                                     : stimulus_();
+      simulator_.set_input(i, word);
+    }
+  }
+
+  void apply_target_inputs(std::uint64_t fixed_mask) {
+    const auto& inputs = design_.primary_inputs();
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      const std::uint64_t a = fixed_a_[i] ? ~0ULL : 0ULL;
+      const std::uint64_t b = fixed_b_[i] ? ~0ULL : 0ULL;
+      std::uint64_t word = 0;
+      switch (input_class(i)) {
+        case InputClass::kSensitive:
+          word = (mode_ == Mode::kFixedVsRandom)
+                     ? (a & fixed_mask) | (stimulus_() & ~fixed_mask)
+                     : (a & fixed_mask) | (b & ~fixed_mask);
+          break;
+        case InputClass::kFixedCommon:
+          word = a;
+          break;
+        case InputClass::kRandomCommon:
+          word = stimulus_();
+          break;
+      }
+      simulator_.set_input(i, word);
+    }
+  }
+
+  void run_combinational_batch() {
+    apply_base_inputs();
+    simulator_.eval();  // base state; not sampled
+    const std::uint64_t mask = master_();
+    apply_target_inputs(mask);
+    simulator_.eval();
+    sample(mask);
+  }
+
+  void run_sequential_batch(std::size_t batch_index) {
+    simulator_.reset(config_.seed ^ (0x9e3779b9ULL * (batch_index + 1)));
+    const std::uint64_t mask = master_();
+    for (std::size_t cycle = 0;
+         cycle < config_.warmup_cycles + config_.cycles_per_batch; ++cycle) {
+      apply_target_inputs(mask);
+      simulator_.eval();
+      if (cycle >= config_.warmup_cycles) sample(mask);
+      simulator_.latch();
+    }
+  }
+
+  void sample(std::uint64_t fixed_mask) {
+    const auto n_fixed = static_cast<std::uint64_t>(__builtin_popcountll(fixed_mask));
+    n_fixed_ += n_fixed;
+    n_random_ += sim::kLanes - n_fixed;
+
+    for (const GateId g : measured_gates_) {
+      const std::uint64_t toggles = simulator_.toggles(g);
+      if (toggles == 0) continue;
+      const GateId group = design_.gate(g).group;
+      const std::uint32_t multi = group_multi_index_[group];
+      if (multi == kNotMulti) {
+        single_ones_fixed_[group] +=
+            static_cast<std::uint64_t>(__builtin_popcountll(toggles & fixed_mask));
+        single_ones_random_[group] +=
+            static_cast<std::uint64_t>(__builtin_popcountll(toggles & ~fixed_mask));
+      } else {
+        const double energy = power_.gate_energy(g);
+        double* lane_sum = &lane_sums_[multi * sim::kLanes];
+        std::uint64_t bits = toggles;
+        while (bits != 0) {
+          const int lane = __builtin_ctzll(bits);
+          lane_sum[lane] += energy;
+          bits &= bits - 1;
+        }
+      }
+    }
+    // Every sample step contributes one sample per lane to each multi group
+    // (possibly zero-valued); push and clear.
+    if (!multi_group_ids_.empty()) {
+      for (std::size_t m = 0; m < multi_group_ids_.size(); ++m) {
+        double* lane_sum = &lane_sums_[m * sim::kLanes];
+        for (std::size_t lane = 0; lane < sim::kLanes; ++lane) {
+          const bool fixed = ((fixed_mask >> lane) & 1ULL) != 0;
+          (fixed ? multi_acc_fixed_[m] : multi_acc_random_[m]).add(lane_sum[lane]);
+          lane_sum[lane] = 0.0;
+        }
+      }
+    }
+  }
+
+  LeakageReport finalize() {
+    const double noise_var = config_.noise_std_fj * config_.noise_std_fj;
+    std::vector<double> t(group_count_, 0.0);
+    for (GateId grp = 0; grp < group_count_; ++grp) {
+      if (!group_measured_[grp]) continue;
+      const std::uint32_t multi = group_multi_index_[grp];
+      if (multi == kNotMulti) {
+        // Samples are {0, E}; with additive noise the class means are
+        // E*p and the sample variances E^2*v + sigma^2.
+        if (n_fixed_ < 2 || n_random_ < 2) continue;
+        const double energy = single_energy_[grp];
+        const double n0 = static_cast<double>(n_fixed_);
+        const double n1 = static_cast<double>(n_random_);
+        const double p0 = static_cast<double>(single_ones_fixed_[grp]) / n0;
+        const double p1 = static_cast<double>(single_ones_random_[grp]) / n1;
+        const double v0 = n0 * p0 * (1.0 - p0) / (n0 - 1.0);
+        const double v1 = n1 * p1 * (1.0 - p1) / (n1 - 1.0);
+        t[grp] = welch_t(energy * p0, energy * energy * v0 + noise_var, n0,
+                         energy * p1, energy * energy * v1 + noise_var, n1)
+                     .t;
+      } else {
+        const auto& q0 = multi_acc_fixed_[multi];
+        const auto& q1 = multi_acc_random_[multi];
+        t[grp] = welch_t(q0.mean(), q0.variance_sample() + noise_var,
+                         static_cast<double>(q0.count()), q1.mean(),
+                         q1.variance_sample() + noise_var,
+                         static_cast<double>(q1.count()))
+                     .t;
+      }
+    }
+    return LeakageReport(std::move(t), std::move(group_measured_),
+                         config_.threshold);
+  }
+
+  static constexpr std::uint32_t kNotMulti = 0xffffffffU;
+
+  const netlist::Netlist& design_;
+  TvlaConfig config_;
+  Mode mode_;
+  power::PowerModel power_;
+  util::Xoshiro256 master_;
+  util::Xoshiro256 stimulus_;
+  sim::Simulator simulator_;
+  std::vector<bool> fixed_a_, fixed_b_;
+
+  std::size_t group_count_ = 0;
+  std::vector<GateId> measured_gates_;
+  std::vector<bool> group_measured_;
+  std::vector<std::uint32_t> group_multi_index_;
+  std::vector<GateId> multi_group_ids_;
+
+  std::uint64_t n_fixed_ = 0, n_random_ = 0;
+  std::vector<std::uint64_t> single_ones_fixed_, single_ones_random_;
+  std::vector<double> single_energy_;
+  std::vector<MomentAccumulator> multi_acc_fixed_, multi_acc_random_;
+  std::vector<double> lane_sums_;
+};
+
+}  // namespace
+
+LeakageReport run_fixed_vs_random(const netlist::Netlist& design,
+                                  const techlib::TechLibrary& lib,
+                                  const TvlaConfig& config) {
+  return Campaign(design, lib, config, Mode::kFixedVsRandom).run();
+}
+
+LeakageReport run_fixed_vs_fixed(const netlist::Netlist& design,
+                                 const techlib::TechLibrary& lib,
+                                 const TvlaConfig& config) {
+  return Campaign(design, lib, config, Mode::kFixedVsFixed).run();
+}
+
+}  // namespace polaris::tvla

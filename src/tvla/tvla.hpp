@@ -1,0 +1,104 @@
+// TVLA campaigns: per-gate (per-group) leakage assessment.
+//
+// This is the `leak_estimate(D)` primitive of Algorithms 1 and 2. For each
+// logical gate group, the per-trace power sample is the summed switching
+// energy of the group's member cells; Welch's t (Eq. 1) compares the fixed
+// class against the random class. Gates with |t| > 4.5 are considered leaky
+// (Fig. 4).
+//
+// Two stimulus protocols are provided (Sec. II-A):
+//  * fixed-vs-random - lanes in the fixed class switch from a random base
+//    vector to a fixed target vector; random-class lanes switch to a fresh
+//    random vector.
+//  * fixed-vs-fixed  - two distinct fixed target vectors (known intermediate
+//    values) are compared.
+// Sequential designs (DFFs present) run free-running multi-cycle traces with
+// per-cycle sampling instead of vector pairs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "techlib/techlib.hpp"
+#include "tvla/welch.hpp"
+
+namespace polaris::tvla {
+
+/// Role of a primary input in the TVLA protocol.
+enum class InputClass : std::uint8_t {
+  kSensitive,     // fixed in the fixed class, random in the random class
+  kFixedCommon,   // same fixed value in BOTH classes (e.g. the key)
+  kRandomCommon,  // fresh random in both classes (e.g. a nonce)
+};
+
+struct TvlaConfig {
+  /// Total traces; rounded up to a whole number of 64-lane batches.
+  std::size_t traces = 4096;
+  /// Sequential designs: cycles discarded after reset, and sampled cycles
+  /// per batch run.
+  std::size_t warmup_cycles = 4;
+  std::size_t cycles_per_batch = 32;
+  double threshold = kLeakageThreshold;
+  std::uint64_t seed = 1;
+  /// Per-sample additive measurement/electrical noise (std dev, fJ). Real
+  /// trace acquisition never sees noise-free per-gate energies; without
+  /// this floor every data-dependent gate saturates the t-test. Modelled
+  /// analytically: means are unchanged, both class variances gain sigma^2.
+  double noise_std_fj = 1.5;
+  /// Role of each primary input (empty = all kSensitive, the classic
+  /// full-vector fixed-vs-random protocol).
+  std::vector<InputClass> input_class;
+  /// Fixed target vector (one bit per primary input). Empty = derived
+  /// deterministically from `seed`.
+  std::vector<bool> fixed_input;
+  /// Second fixed vector for fixed-vs-fixed. Empty = derived from seed.
+  std::vector<bool> fixed_input_b;
+};
+
+class LeakageReport {
+ public:
+  LeakageReport(std::vector<double> t_per_group, std::vector<bool> measured,
+                double threshold);
+
+  /// Welch t of group g (0 when unmeasured).
+  [[nodiscard]] double t_value(netlist::GateId group) const {
+    return t_per_group_[group];
+  }
+  [[nodiscard]] const std::vector<double>& t_values() const { return t_per_group_; }
+  [[nodiscard]] bool measured(netlist::GateId group) const {
+    return measured_[group];
+  }
+
+  [[nodiscard]] std::size_t group_count() const { return t_per_group_.size(); }
+  [[nodiscard]] std::size_t measured_count() const;
+
+  /// Groups with |t| above the threshold, sorted by descending |t|.
+  [[nodiscard]] std::vector<netlist::GateId> leaky_groups() const;
+  [[nodiscard]] std::size_t leaky_count() const { return leaky_groups().size(); }
+
+  /// Sum of |t| over measured groups ("total leakage").
+  [[nodiscard]] double total_abs_t() const;
+  /// Mean |t| over measured groups - the paper's "Leakage Value (Per Gate)".
+  [[nodiscard]] double leakage_per_gate() const;
+
+  [[nodiscard]] double threshold() const { return threshold_; }
+
+ private:
+  std::vector<double> t_per_group_;
+  std::vector<bool> measured_;
+  double threshold_;
+};
+
+/// Fixed-vs-random campaign (the protocol used for all paper tables).
+[[nodiscard]] LeakageReport run_fixed_vs_random(const netlist::Netlist& design,
+                                                const techlib::TechLibrary& lib,
+                                                const TvlaConfig& config);
+
+/// Fixed-vs-fixed campaign (known intermediate values).
+[[nodiscard]] LeakageReport run_fixed_vs_fixed(const netlist::Netlist& design,
+                                               const techlib::TechLibrary& lib,
+                                               const TvlaConfig& config);
+
+}  // namespace polaris::tvla

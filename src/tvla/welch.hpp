@@ -1,0 +1,44 @@
+// Welch's t-test (paper Eq. 1) and the naive two-pass reference (Eq. 2).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "tvla/moments.hpp"
+
+namespace polaris::tvla {
+
+/// TVLA pass/fail threshold: |t| > 4.5 with dof > 1000 gives p < 1e-5
+/// ("99.999% confidence against the null hypothesis", Sec. II-A).
+inline constexpr double kLeakageThreshold = 4.5;
+
+struct WelchResult {
+  double t = 0.0;
+  double dof = 0.0;
+
+  [[nodiscard]] bool leaky(double threshold = kLeakageThreshold) const {
+    return t > threshold || t < -threshold;
+  }
+};
+
+/// Eq. 1 from summary statistics (sample variances, i.e. n-1 denominator).
+/// Degenerate inputs (any class empty, or both variances zero) give t = 0.
+[[nodiscard]] WelchResult welch_t(double mean0, double var0, double n0,
+                                  double mean1, double var1, double n1);
+
+/// Eq. 1 from two one-pass accumulators (Eq. 3-4 pipeline).
+[[nodiscard]] WelchResult welch_t(const MomentAccumulator& q0,
+                                  const MomentAccumulator& q1);
+
+/// Specialization for binary-valued samples x in {0, E}: only counts are
+/// needed, so per-gate TVLA can run on popcounts of 64-lane toggle words.
+/// The scale E cancels out of the statistic.
+[[nodiscard]] WelchResult welch_t_binary(std::uint64_t n0, std::uint64_t ones0,
+                                         std::uint64_t n1, std::uint64_t ones1);
+
+/// Naive two-pass computation (mean sweep then Eq. 2 variance sweep).
+/// Reference implementation for tests and for bench_ablation_moments.
+[[nodiscard]] WelchResult welch_t_two_pass(std::span<const double> q0,
+                                           std::span<const double> q1);
+
+}  // namespace polaris::tvla

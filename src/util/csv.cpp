@@ -1,0 +1,50 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace polaris::util {
+namespace {
+
+std::string escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (const char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  rows_.push_back(cells);
+}
+
+std::string CsvWriter::str() const {
+  std::ostringstream out;
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i != 0) out << ',';
+      out << escape(row[i]);
+    }
+    out << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+void CsvWriter::write_file(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) throw std::runtime_error("CsvWriter: cannot open " + path);
+  file << str();
+  if (!file) throw std::runtime_error("CsvWriter: write failed for " + path);
+}
+
+}  // namespace polaris::util

@@ -1,0 +1,26 @@
+// Minimal CSV writer for exporting experiment series (Fig. 3 / Fig. 4 data).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace polaris::util {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void add_row(const std::vector<std::string>& cells);
+
+  /// Serialize to RFC-4180-style CSV (quotes cells containing separators).
+  [[nodiscard]] std::string str() const;
+
+  /// Write to a file; throws std::runtime_error on I/O failure.
+  void write_file(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace polaris::util

@@ -1,0 +1,26 @@
+// Small string utilities shared by the Verilog front-end and report writers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace polaris::util {
+
+/// Remove leading and trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view text);
+
+/// Split on any of the given delimiter characters; empty tokens are dropped.
+[[nodiscard]] std::vector<std::string> split(std::string_view text,
+                                             std::string_view delims);
+
+/// True if `text` begins with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Lower-case copy (ASCII).
+[[nodiscard]] std::string to_lower(std::string_view text);
+
+/// printf-style double formatting with fixed decimals (for report tables).
+[[nodiscard]] std::string format_double(double value, int decimals);
+
+}  // namespace polaris::util

@@ -1,0 +1,68 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace polaris::util {
+namespace {
+
+bool looks_numeric(const std::string& cell) {
+  if (cell.empty()) return false;
+  std::size_t i = (cell[0] == '-' || cell[0] == '+') ? 1 : 0;
+  if (i >= cell.size()) return false;
+  bool digit_seen = false;
+  for (; i < cell.size(); ++i) {
+    const char c = cell[i];
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      digit_seen = true;
+    } else if (c != '.' && c != 'x' && c != '%' && c != 'e' && c != '-') {
+      return false;
+    }
+  }
+  return digit_seen;
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::render() const {
+  const std::size_t ncols = header_.size();
+  std::vector<std::size_t> width(ncols);
+  std::vector<bool> numeric(ncols, true);
+  for (std::size_t c = 0; c < ncols; ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < ncols; ++c) {
+      width[c] = std::max(width[c], row[c].size());
+      if (!row[c].empty() && !looks_numeric(row[c])) numeric[c] = false;
+    }
+  }
+
+  std::ostringstream out;
+  const auto emit_row = [&](const std::vector<std::string>& row, bool as_header) {
+    for (std::size_t c = 0; c < ncols; ++c) {
+      if (c != 0) out << "  ";
+      const std::string& cell = row[c];
+      const std::size_t pad = width[c] - cell.size();
+      const bool right = numeric[c] && !as_header;
+      if (right) out << std::string(pad, ' ') << cell;
+      else out << cell << std::string(pad, ' ');
+    }
+    out << '\n';
+  };
+
+  emit_row(header_, /*as_header=*/true);
+  std::size_t total = ncols >= 1 ? 2 * (ncols - 1) : 0;
+  for (const auto w : width) total += w;
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row, /*as_header=*/false);
+  return out.str();
+}
+
+}  // namespace polaris::util

@@ -1,0 +1,27 @@
+// Console table printer used by every bench binary so that the regenerated
+// paper tables are column-aligned and machine-greppable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace polaris::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with a header rule and per-column alignment (numbers right,
+  /// text left). The result ends with a newline.
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace polaris::util

@@ -1,0 +1,38 @@
+// Kernel SHAP (Lundberg & Lee 2017): model-agnostic Shapley estimation by
+// weighted linear regression over sampled coalitions (paper Sec. IV-B names
+// Kernel SHAP as the model-agnostic member of the SHAP family).
+//
+// Used to cross-validate exact TreeSHAP in the test suite and available for
+// non-tree models. Estimates converge to Eq. 6 as samples grow.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace polaris::xai {
+
+struct KernelShapConfig {
+  /// Sampled coalitions (excluding the two trivial ones, handled exactly).
+  std::size_t samples = 2048;
+  /// Ridge regularization for the weighted least squares solve.
+  double ridge = 1e-6;
+  std::uint64_t seed = 1;
+};
+
+struct KernelShapResult {
+  std::vector<double> phi;
+  double expected_value = 0.0;  // E[f] over the background set
+  double fx = 0.0;              // f(x)
+};
+
+/// `f` maps a feature row to the model output (margin). `background` rows
+/// define the reference distribution for absent features.
+[[nodiscard]] KernelShapResult kernel_shap(
+    const std::function<double(std::span<const double>)>& f,
+    std::span<const double> x,
+    const std::vector<std::vector<double>>& background,
+    const KernelShapConfig& config = {});
+
+}  // namespace polaris::xai

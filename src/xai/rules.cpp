@@ -1,0 +1,121 @@
+#include "xai/rules.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <sstream>
+
+#include "xai/treeshap.hpp"
+
+namespace polaris::xai {
+
+std::string Rule::to_string(std::span<const std::string> feature_names) const {
+  std::ostringstream out;
+  bool first = true;
+  for (const Literal& lit : literals) {
+    if (!first) out << " && ";
+    first = false;
+    const std::string name = lit.feature < feature_names.size()
+                                 ? feature_names[lit.feature]
+                                 : "f" + std::to_string(lit.feature);
+    if (!lit.positive) out << "!";
+    out << name;
+  }
+  out << "  ->  " << (action == 1 ? "Select & Replace with masking gate"
+                                  : "Do not Mask");
+  out << "  [support=" << support << ", precision=";
+  out << static_cast<int>(std::lround(precision * 100.0)) << "%]";
+  return out.str();
+}
+
+double RuleSet::score(std::span<const double> x, double fallback) const {
+  double best_mask = -1.0;
+  double best_keep = -1.0;
+  for (const Rule& rule : rules_) {
+    if (!rule.matches(x)) continue;
+    if (rule.action == 1) best_mask = std::max(best_mask, rule.precision);
+    else best_keep = std::max(best_keep, rule.precision);
+  }
+  if (best_mask < 0.0 && best_keep < 0.0) return fallback;
+  if (best_mask >= best_keep) return 0.5 + 0.5 * best_mask;
+  return 0.5 - 0.5 * best_keep;
+}
+
+double RuleSet::combined_score(const ml::Classifier& model,
+                               std::span<const double> x, double alpha) const {
+  const double model_score = model.predict_proba(x);
+  if (rules_.empty()) return model_score;
+  return alpha * model_score + (1.0 - alpha) * score(x, model_score);
+}
+
+RuleSet extract_rules(const ml::Classifier& model, const ml::Dataset& data,
+                      const RuleExtractionConfig& config) {
+  // Key: ordered literal list encoded as (feature, polarity) pairs.
+  using Key = std::vector<std::pair<std::size_t, bool>>;
+  struct Stats {
+    std::size_t support = 0;
+    std::size_t agree = 0;  // label == action
+    int action = 1;
+  };
+  std::map<Key, Stats> candidates;
+
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto x = data.row(i);
+    const double p = model.predict_proba(x);
+    int action;
+    if (p >= config.confidence_hi) action = 1;
+    else if (p <= config.confidence_lo) action = 0;
+    else continue;
+
+    const auto phi = tree_shap(model.ensemble(), x);
+    // Rank features whose attribution pushes toward the predicted class.
+    std::vector<std::size_t> order(phi.size());
+    std::iota(order.begin(), order.end(), 0);
+    const double sign = action == 1 ? 1.0 : -1.0;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return sign * phi[a] > sign * phi[b];
+    });
+
+    Key key;
+    for (const std::size_t f : order) {
+      if (key.size() == config.literals_per_rule) break;
+      if (sign * phi[f] <= 0.0) break;  // ran out of supporting features
+      if (!config.allowed_features.empty() &&
+          (f >= config.allowed_features.size() || !config.allowed_features[f])) {
+        continue;
+      }
+      key.emplace_back(f, x[f] >= 0.5);
+    }
+    if (key.size() < 2) continue;
+    std::sort(key.begin(), key.end());
+    auto& stats = candidates[key];
+    stats.support += 1;
+    stats.action = action;
+    if (data.label(i) == action) stats.agree += 1;
+  }
+
+  std::vector<Rule> rules;
+  for (const auto& [key, stats] : candidates) {
+    if (stats.support < config.min_support) continue;
+    const double precision = static_cast<double>(stats.agree) /
+                             static_cast<double>(stats.support);
+    if (precision < config.min_precision) continue;
+    Rule rule;
+    for (const auto& [feature, positive] : key) {
+      rule.literals.push_back({feature, positive});
+    }
+    rule.action = stats.action;
+    rule.support = stats.support;
+    rule.precision = precision;
+    rules.push_back(std::move(rule));
+  }
+  std::sort(rules.begin(), rules.end(), [](const Rule& a, const Rule& b) {
+    return static_cast<double>(a.support) * a.precision >
+           static_cast<double>(b.support) * b.precision;
+  });
+  if (rules.size() > config.max_rules) rules.resize(config.max_rules);
+  return RuleSet(std::move(rules));
+}
+
+}  // namespace polaris::xai

@@ -1,0 +1,36 @@
+// Exact TreeSHAP (Lundberg, Erion & Lee 2018): polynomial-time Shapley
+// values (paper Eq. 6) for decision-tree ensembles.
+//
+// The algorithm tracks, along each root-to-leaf path, the proportion of
+// feature-subset permutations that flow down the path when each unique
+// feature on it is included ("one fraction") or excluded ("zero fraction" -
+// the cover-weighted share of training data taking the branch), extending
+// and unwinding a weight polynomial per node. phi is exact - identical to
+// evaluating Eq. 6 over all 2^h coalitions - in O(leaves * depth^2).
+//
+// Attributions are in margin space and satisfy local accuracy:
+//   sum_f phi_f + expected_value(ensemble) == ensemble.margin(x)
+// which the test suite checks property-style over random ensembles.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ml/tree.hpp"
+
+namespace polaris::xai {
+
+/// Cover-weighted mean margin of the ensemble over its training
+/// distribution: E[f(x)] (the waterfall baseline).
+[[nodiscard]] double expected_value(const ml::TreeEnsemble& ensemble);
+
+/// Exact per-feature Shapley values of the ensemble margin at x.
+[[nodiscard]] std::vector<double> tree_shap(const ml::TreeEnsemble& ensemble,
+                                            std::span<const double> x);
+
+/// Single-tree variant (weight 1, no base offset).
+[[nodiscard]] std::vector<double> tree_shap(const ml::Tree& tree,
+                                            std::span<const double> x,
+                                            std::size_t feature_count);
+
+}  // namespace polaris::xai

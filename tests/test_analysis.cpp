@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "analysis/ppa.hpp"
+#include "circuits/arith.hpp"
+#include "masking/masking.hpp"
+#include "netlist/netlist.hpp"
+
+namespace {
+
+using namespace polaris;
+using netlist::CellType;
+using netlist::NetId;
+
+const techlib::TechLibrary& lib() {
+  static const auto instance = techlib::TechLibrary::default_library();
+  return instance;
+}
+
+TEST(Ppa, ChainDelayIsSumOfStageDelays) {
+  netlist::Netlist nl;
+  NetId n = nl.add_input("a");
+  const int stages = 5;
+  for (int i = 0; i < stages - 1; ++i) n = nl.add_cell(CellType::kNot, {n});
+  const NetId last = nl.add_cell(CellType::kNot, {n});
+  nl.mark_output(last);
+  const auto report = analysis::analyze(nl, lib(), {.activity_cycles = 4});
+  // Each NOT has fanout 1 except the last (fanout 0).
+  const double per_stage = lib().delay(CellType::kNot, 1, 1);
+  const double last_stage = lib().delay(CellType::kNot, 1, 0);
+  EXPECT_NEAR(report.delay_ns * 1000.0, 4 * per_stage + last_stage, 1e-9);
+}
+
+TEST(Ppa, AreaIsSumOfCellAreas) {
+  const auto nl = circuits::make_adder(8);
+  const auto report = analysis::analyze(nl, lib(), {.activity_cycles = 4});
+  double expect = 0.0;
+  for (const auto& gate : nl.gates()) {
+    expect += lib().area(gate.type, gate.inputs.size());
+  }
+  EXPECT_NEAR(report.area_um2, expect, 1e-9);
+}
+
+TEST(Ppa, PowerScalesWithClock) {
+  const auto nl = circuits::make_multiplier(8);
+  const auto slow = analysis::analyze(nl, lib(), {.activity_cycles = 64, .clock_mhz = 100});
+  const auto fast = analysis::analyze(nl, lib(), {.activity_cycles = 64, .clock_mhz = 200});
+  EXPECT_NEAR(fast.dynamic_power_mw, 2.0 * slow.dynamic_power_mw, 1e-9);
+  EXPECT_DOUBLE_EQ(fast.static_power_mw, slow.static_power_mw);
+  EXPECT_NEAR(fast.power_mw, fast.dynamic_power_mw + fast.static_power_mw, 1e-12);
+}
+
+TEST(Ppa, MaskingIncreasesAllThreeMetrics) {
+  const auto nl = circuits::make_multiplier(8);
+  std::vector<netlist::GateId> targets;
+  for (netlist::GateId g = 0; g < nl.gate_count(); ++g) {
+    if (netlist::is_maskable(nl.gate(g).type)) targets.push_back(g);
+  }
+  const auto masked = masking::apply_masking(nl, targets).design;
+  const auto before = analysis::analyze(nl, lib(), {.activity_cycles = 32});
+  const auto after = analysis::analyze(masked, lib(), {.activity_cycles = 32});
+  EXPECT_GT(after.area_um2, 2.0 * before.area_um2);
+  EXPECT_GT(after.power_mw, before.power_mw);
+  EXPECT_GT(after.delay_ns, before.delay_ns);
+}
+
+TEST(Ppa, SequentialDesignAnalyzes) {
+  netlist::Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId q = nl.add_net("q");
+  const NetId d = nl.add_cell(CellType::kXor, {a, q});
+  nl.add_cell_driving(CellType::kDff, std::array{d}, q);
+  nl.mark_output(q);
+  const auto report = analysis::analyze(nl, lib(), {.activity_cycles = 16});
+  EXPECT_GT(report.area_um2, 0.0);
+  EXPECT_GT(report.delay_ns, 0.0);
+  EXPECT_GT(report.power_mw, 0.0);
+}
+
+TEST(Ppa, DeterministicForSeed) {
+  const auto nl = circuits::make_adder(8);
+  const auto a = analysis::analyze(nl, lib(), {.activity_cycles = 32, .seed = 5});
+  const auto b = analysis::analyze(nl, lib(), {.activity_cycles = 32, .seed = 5});
+  EXPECT_DOUBLE_EQ(a.power_mw, b.power_mw);
+}
+
+}  // namespace

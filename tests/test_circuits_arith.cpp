@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "circuits/arith.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace polaris;
+
+/// Packs an unsigned integer into the simulator's input word layout (all 64
+/// lanes broadcast) and reads back an output group as an integer (lane 0).
+class WordIo {
+ public:
+  explicit WordIo(const netlist::Netlist& nl) : nl_(nl), sim_(nl, 3) {}
+
+  std::vector<std::uint64_t> run(std::span<const std::uint64_t> operands,
+                                 std::span<const std::size_t> widths_in,
+                                 std::span<const std::size_t> widths_out) {
+    std::vector<bool> bits;
+    for (std::size_t op = 0; op < operands.size(); ++op) {
+      for (std::size_t b = 0; b < widths_in[op]; ++b) {
+        bits.push_back(((operands[op] >> b) & 1ULL) != 0);
+      }
+    }
+    const auto out_bits = sim_.eval_single(bits);
+    std::vector<std::uint64_t> outs;
+    std::size_t cursor = 0;
+    for (const std::size_t w : widths_out) {
+      std::uint64_t value = 0;
+      for (std::size_t b = 0; b < w; ++b) {
+        value |= static_cast<std::uint64_t>(out_bits[cursor++]) << b;
+      }
+      outs.push_back(value);
+    }
+    return outs;
+  }
+
+ private:
+  const netlist::Netlist& nl_;
+  sim::Simulator sim_;
+};
+
+TEST(Adder, ExhaustiveFourBit) {
+  const auto nl = circuits::make_adder(4);
+  WordIo io(nl);
+  for (std::uint64_t a = 0; a < 16; ++a) {
+    for (std::uint64_t b = 0; b < 16; ++b) {
+      const auto out = io.run(std::array{a, b}, std::array<std::size_t, 2>{4, 4},
+                              std::array<std::size_t, 2>{4, 1});
+      EXPECT_EQ(out[0], (a + b) & 0xF);
+      EXPECT_EQ(out[1], (a + b) >> 4);
+    }
+  }
+}
+
+class MultiplierWidths : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MultiplierWidths, MatchesReferenceOnRandomOperands) {
+  const std::size_t w = GetParam();
+  const auto nl = circuits::make_multiplier(w);
+  WordIo io(nl);
+  util::Xoshiro256 rng(w * 1000 + 1);
+  const std::uint64_t mask = (w >= 64) ? ~0ULL : (1ULL << w) - 1;
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::uint64_t a = rng() & mask;
+    const std::uint64_t b = rng() & mask;
+    const auto out = io.run(std::array{a, b}, std::array<std::size_t, 2>{w, w},
+                            std::array<std::size_t, 1>{2 * w});
+    EXPECT_EQ(out[0], circuits::ref_multiply(a, b, w)) << a << " * " << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, MultiplierWidths,
+                         ::testing::Values(2, 3, 4, 6, 8, 12, 16));
+
+TEST(Multiplier, EdgeOperands) {
+  const std::size_t w = 8;
+  const auto nl = circuits::make_multiplier(w);
+  WordIo io(nl);
+  for (const auto& [a, b] : {std::pair<std::uint64_t, std::uint64_t>{0, 0},
+                            {0, 255},
+                            {255, 255},
+                            {1, 255},
+                            {128, 128}}) {
+    const auto out = io.run(std::array{a, b}, std::array<std::size_t, 2>{w, w},
+                            std::array<std::size_t, 1>{2 * w});
+    EXPECT_EQ(out[0], a * b);
+  }
+}
+
+TEST(Square, MatchesMultiplierSemantics) {
+  const std::size_t w = 7;
+  const auto nl = circuits::make_square(w);
+  WordIo io(nl);
+  for (std::uint64_t a = 0; a < 128; a += 5) {
+    const auto out = io.run(std::array{a}, std::array<std::size_t, 1>{w},
+                            std::array<std::size_t, 1>{2 * w});
+    EXPECT_EQ(out[0], a * a);
+  }
+}
+
+class DividerWidths : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DividerWidths, MatchesReference) {
+  const std::size_t w = GetParam();
+  const auto nl = circuits::make_divider(w);
+  WordIo io(nl);
+  util::Xoshiro256 rng(w * 77);
+  const std::uint64_t mask = (1ULL << w) - 1;
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::uint64_t a = rng() & mask;
+    const std::uint64_t b = rng() & mask;
+    const auto out = io.run(std::array{a, b}, std::array<std::size_t, 2>{w, w},
+                            std::array<std::size_t, 2>{w, w});
+    const auto want = circuits::ref_divide(a, b, w);
+    EXPECT_EQ(out[0], want.quotient) << a << " / " << b;
+    EXPECT_EQ(out[1], want.remainder) << a << " % " << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, DividerWidths, ::testing::Values(3, 4, 6, 8, 12));
+
+TEST(Divider, DivisionByZeroConvention) {
+  const std::size_t w = 6;
+  const auto nl = circuits::make_divider(w);
+  WordIo io(nl);
+  for (const std::uint64_t a : {0ULL, 17ULL, 63ULL}) {
+    const auto out =
+        io.run(std::array<std::uint64_t, 2>{a, 0}, std::array<std::size_t, 2>{w, w},
+               std::array<std::size_t, 2>{w, w});
+    EXPECT_EQ(out[0], (1ULL << w) - 1);  // q = all ones
+    EXPECT_EQ(out[1], a);                // r = dividend
+  }
+}
+
+TEST(Divider, ExhaustiveFourBit) {
+  const std::size_t w = 4;
+  const auto nl = circuits::make_divider(w);
+  WordIo io(nl);
+  for (std::uint64_t a = 0; a < 16; ++a) {
+    for (std::uint64_t b = 1; b < 16; ++b) {
+      const auto out = io.run(std::array{a, b}, std::array<std::size_t, 2>{w, w},
+                              std::array<std::size_t, 2>{w, w});
+      EXPECT_EQ(out[0], a / b);
+      EXPECT_EQ(out[1], a % b);
+    }
+  }
+}
+
+class SqrtWidths : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SqrtWidths, MatchesReference) {
+  const std::size_t w = GetParam();
+  const auto nl = circuits::make_sqrt(w);
+  WordIo io(nl);
+  util::Xoshiro256 rng(w * 13);
+  const std::uint64_t mask = (w >= 64) ? ~0ULL : (1ULL << w) - 1;
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::uint64_t a = rng() & mask;
+    const auto out = io.run(std::array{a}, std::array<std::size_t, 1>{w},
+                            std::array<std::size_t, 2>{w / 2, w / 2 + 1});
+    const auto want = circuits::ref_sqrt(a, w);
+    EXPECT_EQ(out[0], want.root) << "sqrt(" << a << ")";
+    EXPECT_EQ(out[1], want.remainder);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SqrtWidths, ::testing::Values(4, 6, 8, 12, 16));
+
+TEST(Sqrt, ReferenceIsIntegerSquareRoot) {
+  // root^2 + rem == a and (root+1)^2 > a for every input.
+  for (std::uint64_t a = 0; a < 4096; a += 7) {
+    const auto r = circuits::ref_sqrt(a, 12);
+    EXPECT_EQ(r.root * r.root + r.remainder, a);
+    EXPECT_GT((r.root + 1) * (r.root + 1), a);
+  }
+}
+
+TEST(Sqrt, RejectsOddWidth) {
+  EXPECT_THROW((void)circuits::make_sqrt(7), std::invalid_argument);
+}
+
+TEST(Arith, GateCountsScaleQuadratically) {
+  const auto m8 = circuits::make_multiplier(8);
+  const auto m16 = circuits::make_multiplier(16);
+  EXPECT_GT(m16.gate_count(), 3 * m8.gate_count());
+  EXPECT_LT(m16.gate_count(), 6 * m8.gate_count());
+}
+
+}  // namespace

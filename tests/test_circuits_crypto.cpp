@@ -1,0 +1,268 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "circuits/aes_sbox.hpp"
+#include "circuits/des.hpp"
+#include "circuits/md5.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace polaris;
+
+// ---------------------------------------------------------------------------
+// DES / 3DES. Known-answer vectors generated with OpenSSL (legacy DES-ECB
+// and DES-EDE3-ECB providers).
+// ---------------------------------------------------------------------------
+
+struct DesKat {
+  std::uint64_t key, plaintext, ciphertext;
+};
+constexpr DesKat kDesKats[] = {
+    {0x133457799BBCDFF1ULL, 0x0123456789ABCDEFULL, 0x85E813540F0AB405ULL},
+    {0x626a8f7140f60d05ULL, 0xa10854cfacf3668fULL, 0x7874393603a97effULL},
+    {0xc1e5f85509f8fc6aULL, 0x79ee0a96ba48373aULL, 0x520e79c9a1e0eebbULL},
+    {0xdc771b2411c317feULL, 0x566f6e38d1c66f15ULL, 0x4807a1a142dd2b5eULL},
+    {0x63dace7e74edeba3ULL, 0xfb8a2a9efce63e6bULL, 0x02f867b7d6b297a6ULL},
+};
+
+TEST(DesReference, KnownAnswerVectors) {
+  for (const auto& kat : kDesKats) {
+    EXPECT_EQ(circuits::ref_des(kat.key, kat.plaintext), kat.ciphertext);
+  }
+}
+
+TEST(DesReference, DecryptInvertsEncrypt) {
+  util::Xoshiro256 rng(1);
+  for (int i = 0; i < 20; ++i) {
+    const std::uint64_t key = rng();
+    const std::uint64_t pt = rng();
+    EXPECT_EQ(circuits::ref_des(key, circuits::ref_des(key, pt), true), pt);
+  }
+}
+
+TEST(DesReference, ReducedRoundsStillInvert) {
+  for (const std::size_t rounds : {1u, 4u, 8u}) {
+    const std::uint64_t key = 0x0102030405060708ULL;
+    const std::uint64_t pt = 0x1122334455667788ULL;
+    const std::uint64_t ct = circuits::ref_des(key, pt, false, rounds);
+    EXPECT_EQ(circuits::ref_des(key, ct, true, rounds), pt);
+  }
+}
+
+struct Des3Kat {
+  std::uint64_t k1, k2, k3, plaintext, ciphertext;
+};
+constexpr Des3Kat kDes3Kats[] = {
+    {0x63d3910645f874a9ULL, 0x91bdfc5a68ba46d2ULL, 0xb5ff881b862eb342ULL,
+     0x816d57c7f2a56f6cULL, 0x40faed5770adf11dULL},
+    {0x27dc4f7d6467aa25ULL, 0xd828020472c29af2ULL, 0xfb0f03b0858d185eULL,
+     0x49b21d48df89383fULL, 0x4d773926765226f0ULL},
+    {0x17c9a6db2d0f846bULL, 0x6ed9ebbcc8f7ae8aULL, 0xea78e4abb7096dbfULL,
+     0xca544a24e34a28c5ULL, 0x2a580c990fbe9737ULL},
+};
+
+TEST(Des3Reference, KnownAnswerVectors) {
+  for (const auto& kat : kDes3Kats) {
+    EXPECT_EQ(circuits::ref_des3(kat.k1, kat.k2, kat.k3, kat.plaintext),
+              kat.ciphertext);
+  }
+}
+
+TEST(Des3Reference, DegeneratesToSingleDesWithEqualKeys) {
+  const std::uint64_t key = 0x133457799BBCDFF1ULL;
+  const std::uint64_t pt = 0x0123456789ABCDEFULL;
+  EXPECT_EQ(circuits::ref_des3(key, key, key, pt), circuits::ref_des(key, pt));
+}
+
+/// Applies a 64-bit value (FIPS bit 1 = MSB) to a 64-entry LSB-first input
+/// word range.
+std::vector<bool> unpack64(std::uint64_t value) {
+  std::vector<bool> bits(64);
+  for (std::size_t i = 0; i < 64; ++i) bits[i] = ((value >> i) & 1ULL) != 0;
+  return bits;
+}
+
+std::uint64_t pack64(const std::vector<bool>& bits, std::size_t offset = 0) {
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < 64; ++i) {
+    value |= static_cast<std::uint64_t>(bits[offset + i]) << i;
+  }
+  return value;
+}
+
+TEST(DesCircuit, MatchesReferenceOnKats) {
+  const auto nl = circuits::make_des();
+  sim::Simulator sim(nl);
+  for (const auto& kat : kDesKats) {
+    std::vector<bool> in = unpack64(kat.plaintext);
+    const auto key_bits = unpack64(kat.key);
+    in.insert(in.end(), key_bits.begin(), key_bits.end());
+    EXPECT_EQ(pack64(sim.eval_single(in)), kat.ciphertext);
+  }
+}
+
+TEST(DesCircuit, ReducedRoundMatchesReference) {
+  const auto nl = circuits::make_des(4);
+  sim::Simulator sim(nl);
+  util::Xoshiro256 rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::uint64_t key = rng();
+    const std::uint64_t pt = rng();
+    std::vector<bool> in = unpack64(pt);
+    const auto key_bits = unpack64(key);
+    in.insert(in.end(), key_bits.begin(), key_bits.end());
+    EXPECT_EQ(pack64(sim.eval_single(in)),
+              circuits::ref_des(key, pt, false, 4));
+  }
+}
+
+TEST(Des3Circuit, MatchesReferenceOnKats) {
+  const auto nl = circuits::make_des3();
+  EXPECT_GT(nl.gate_count(), 10000u);  // a real 48-round 3DES data path
+  sim::Simulator sim(nl);
+  for (const auto& kat : kDes3Kats) {
+    std::vector<bool> in = unpack64(kat.plaintext);
+    for (const std::uint64_t k : {kat.k1, kat.k2, kat.k3}) {
+      const auto bits = unpack64(k);
+      in.insert(in.end(), bits.begin(), bits.end());
+    }
+    EXPECT_EQ(pack64(sim.eval_single(in)), kat.ciphertext);
+  }
+}
+
+TEST(DesCircuit, RejectsBadRounds) {
+  EXPECT_THROW((void)circuits::make_des(0), std::invalid_argument);
+  EXPECT_THROW((void)circuits::make_des(17), std::invalid_argument);
+  EXPECT_THROW((void)circuits::ref_des(1, 2, false, 0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// MD5. Digest KATs match openssl md5.
+// ---------------------------------------------------------------------------
+
+std::string hex_digest(const std::array<std::uint8_t, 16>& digest) {
+  std::string out;
+  for (const auto byte : digest) {
+    char buf[3];
+    snprintf(buf, sizeof buf, "%02x", byte);
+    out += buf;
+  }
+  return out;
+}
+
+TEST(Md5Reference, KnownDigests) {
+  const auto digest_of = [](const std::string& s) {
+    return hex_digest(circuits::ref_md5_digest(
+        std::vector<std::uint8_t>(s.begin(), s.end())));
+  };
+  EXPECT_EQ(digest_of(""), "d41d8cd98f00b204e9800998ecf8427e");
+  EXPECT_EQ(digest_of("abc"), "900150983cd24fb0d6963f7d28e17f72");
+  EXPECT_EQ(digest_of("The quick brown fox jumps over the lazy dog"),
+            "9e107d9d372bb6826bd81d3542a419d6");
+  EXPECT_EQ(digest_of("message digest"), "f96b697d7cb7938d525a2f31aaf161d0");
+}
+
+TEST(Md5Reference, RejectsMultiBlockMessages) {
+  EXPECT_THROW((void)circuits::ref_md5_digest(std::vector<std::uint8_t>(56)),
+               std::invalid_argument);
+}
+
+TEST(Md5Circuit, CompressesBlockLikeReference) {
+  const auto nl = circuits::make_md5();
+  EXPECT_GT(nl.gate_count(), 20000u);
+  sim::Simulator sim(nl);
+  util::Xoshiro256 rng(11);
+  for (int trial = 0; trial < 3; ++trial) {
+    std::array<std::uint32_t, 16> m{};
+    std::vector<bool> in;
+    for (auto& word : m) {
+      word = static_cast<std::uint32_t>(rng());
+      for (int b = 0; b < 32; ++b) in.push_back(((word >> b) & 1U) != 0);
+    }
+    const auto out = sim.eval_single(in);
+    const auto want = circuits::ref_md5_block(m);
+    for (std::size_t r = 0; r < 4; ++r) {
+      std::uint32_t got = 0;
+      for (std::size_t b = 0; b < 32; ++b) {
+        got |= static_cast<std::uint32_t>(out[32 * r + b]) << b;
+      }
+      EXPECT_EQ(got, want[r]) << "register " << r;
+    }
+  }
+}
+
+TEST(Md5Circuit, ReducedStepsMatchReference) {
+  const auto nl = circuits::make_md5(8);
+  sim::Simulator sim(nl);
+  std::array<std::uint32_t, 16> m{};
+  std::vector<bool> in;
+  util::Xoshiro256 rng(3);
+  for (auto& word : m) {
+    word = static_cast<std::uint32_t>(rng());
+    for (int b = 0; b < 32; ++b) in.push_back(((word >> b) & 1U) != 0);
+  }
+  const auto out = sim.eval_single(in);
+  const auto want = circuits::ref_md5_block(m, 8);
+  std::uint32_t got = 0;
+  for (std::size_t b = 0; b < 32; ++b) {
+    got |= static_cast<std::uint32_t>(out[b]) << b;
+  }
+  EXPECT_EQ(got, want[0]);
+}
+
+// ---------------------------------------------------------------------------
+// AES S-box layer.
+// ---------------------------------------------------------------------------
+
+TEST(AesSbox, TablePinnedToPublishedValues) {
+  const auto& table = circuits::aes_sbox_table();
+  EXPECT_EQ(table[0x00], 0x63);
+  EXPECT_EQ(table[0x01], 0x7c);
+  EXPECT_EQ(table[0x53], 0xed);
+  EXPECT_EQ(table[0xff], 0x16);
+  // Bijectivity.
+  std::array<bool, 256> seen{};
+  for (const auto v : table) seen[v] = true;
+  for (const bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(AesSbox, CircuitMatchesReferenceExhaustiveByte) {
+  const auto nl = circuits::make_aes_sbox_layer(1);
+  sim::Simulator sim(nl);
+  for (unsigned data = 0; data < 256; data += 7) {
+    for (unsigned key : {0u, 0x5au, 0xffu}) {
+      std::vector<bool> in;
+      for (int b = 0; b < 8; ++b) in.push_back(((data >> b) & 1U) != 0);
+      for (int b = 0; b < 8; ++b) in.push_back(((key >> b) & 1U) != 0);
+      const auto out = sim.eval_single(in);
+      unsigned got = 0;
+      for (int b = 0; b < 8; ++b) got |= static_cast<unsigned>(out[b]) << b;
+      EXPECT_EQ(got, circuits::ref_aes_sbox(static_cast<std::uint8_t>(data),
+                                            static_cast<std::uint8_t>(key)));
+    }
+  }
+}
+
+TEST(AesSbox, MultipleLanesIndependent) {
+  const auto nl = circuits::make_aes_sbox_layer(2);
+  EXPECT_EQ(nl.primary_inputs().size(), 32u);
+  EXPECT_EQ(nl.primary_outputs().size(), 16u);
+  sim::Simulator sim(nl);
+  std::vector<bool> in(32, false);
+  // lane 0: data 0x12 key 0x34; lane 1: data 0xab key 0xcd.
+  for (int b = 0; b < 8; ++b) in[b] = ((0x12 >> b) & 1) != 0;
+  for (int b = 0; b < 8; ++b) in[8 + b] = ((0xab >> b) & 1) != 0;
+  for (int b = 0; b < 8; ++b) in[16 + b] = ((0x34 >> b) & 1) != 0;
+  for (int b = 0; b < 8; ++b) in[24 + b] = ((0xcd >> b) & 1) != 0;
+  const auto out = sim.eval_single(in);
+  unsigned lane0 = 0, lane1 = 0;
+  for (int b = 0; b < 8; ++b) lane0 |= static_cast<unsigned>(out[b]) << b;
+  for (int b = 0; b < 8; ++b) lane1 |= static_cast<unsigned>(out[8 + b]) << b;
+  EXPECT_EQ(lane0, circuits::ref_aes_sbox(0x12, 0x34));
+  EXPECT_EQ(lane1, circuits::ref_aes_sbox(0xab, 0xcd));
+}
+
+}  // namespace

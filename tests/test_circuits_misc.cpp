@@ -1,0 +1,302 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuits/cordic.hpp"
+#include "circuits/log2.hpp"
+#include "circuits/memctrl.hpp"
+#include "circuits/misc.hpp"
+#include "circuits/random_logic.hpp"
+#include "circuits/suite.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace polaris;
+
+// --- voter -------------------------------------------------------------------
+
+class VoterSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(VoterSizes, MatchesReferenceOnRandomBallots) {
+  const std::size_t n = GetParam();
+  const auto nl = circuits::make_voter(n);
+  sim::Simulator sim(nl);
+  util::Xoshiro256 rng(n);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<bool> ballots(n);
+    for (auto&& b : ballots) b = (rng() & 1) != 0;
+    EXPECT_EQ(sim.eval_single(ballots)[0], circuits::ref_voter(ballots));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, VoterSizes, ::testing::Values(3, 5, 7, 15, 31));
+
+TEST(Voter, UnanimousAndTieBreak) {
+  const auto nl = circuits::make_voter(5);
+  sim::Simulator sim(nl);
+  EXPECT_TRUE(sim.eval_single({true, true, true, true, true})[0]);
+  EXPECT_FALSE(sim.eval_single({false, false, false, false, false})[0]);
+  EXPECT_TRUE(sim.eval_single({true, true, true, false, false})[0]);
+  EXPECT_FALSE(sim.eval_single({true, true, false, false, false})[0]);
+}
+
+TEST(Voter, RejectsEvenCounts) {
+  EXPECT_THROW((void)circuits::make_voter(4), std::invalid_argument);
+  EXPECT_THROW((void)circuits::make_voter(1), std::invalid_argument);
+}
+
+// --- arbiter -----------------------------------------------------------------
+
+TEST(Arbiter, MatchesReferenceAcrossPointers) {
+  const std::size_t n = 8;
+  const auto nl = circuits::make_arbiter(n);
+  sim::Simulator sim(nl);
+  util::Xoshiro256 rng(17);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<bool> req(n);
+    for (auto&& r : req) r = rng.chance(0.4);
+    const std::size_t ptr = rng.bounded(n);
+    std::vector<bool> in = req;
+    for (std::size_t b = 0; b < 3; ++b) in.push_back(((ptr >> b) & 1) != 0);
+    const auto out = sim.eval_single(in);
+    const auto want = circuits::ref_arbiter(req, ptr);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(out[i], want[i]) << "req slot " << i << " ptr " << ptr;
+    }
+    bool any_req = false;
+    for (const bool r : req) any_req = any_req || r;
+    EXPECT_EQ(out[n], any_req);  // "any" output
+  }
+}
+
+TEST(Arbiter, GrantIsOneHot) {
+  const auto nl = circuits::make_arbiter(16);
+  sim::Simulator sim(nl);
+  util::Xoshiro256 rng(23);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<bool> in(16 + 4);
+    for (auto&& b : in) b = (rng() & 1) != 0;
+    const auto out = sim.eval_single(in);
+    int grants = 0;
+    for (std::size_t i = 0; i < 16; ++i) grants += out[i] ? 1 : 0;
+    EXPECT_LE(grants, 1);
+  }
+}
+
+TEST(Arbiter, RejectsNonPowerOfTwo) {
+  EXPECT_THROW((void)circuits::make_arbiter(6), std::invalid_argument);
+}
+
+// --- log2 --------------------------------------------------------------------
+
+TEST(Log2, ExhaustiveSixteenBitExponent) {
+  const auto nl = circuits::make_log2(16, 8);
+  sim::Simulator sim(nl);
+  for (std::uint64_t a = 1; a < 65536; a += 251) {
+    std::vector<bool> in(16);
+    for (std::size_t b = 0; b < 16; ++b) in[b] = ((a >> b) & 1) != 0;
+    const auto out = sim.eval_single(in);
+    std::uint64_t exp = 0, frac = 0;
+    for (std::size_t b = 0; b < 4; ++b) {
+      exp |= static_cast<std::uint64_t>(out[b]) << b;
+    }
+    for (std::size_t b = 0; b < 8; ++b) {
+      frac |= static_cast<std::uint64_t>(out[4 + b]) << b;
+    }
+    const auto want = circuits::ref_log2(a, 16, 8);
+    EXPECT_EQ(exp, want.exponent) << "a=" << a;
+    EXPECT_EQ(frac, want.fraction) << "a=" << a;
+  }
+}
+
+TEST(Log2, PowersOfTwoHaveZeroFraction) {
+  for (std::size_t p = 0; p < 16; ++p) {
+    const auto r = circuits::ref_log2(1ULL << p, 16, 8);
+    EXPECT_EQ(r.exponent, p);
+    EXPECT_EQ(r.fraction, 0u);
+  }
+}
+
+TEST(Log2, ZeroInputConvention) {
+  const auto nl = circuits::make_log2(8, 4);
+  sim::Simulator sim(nl);
+  const auto out = sim.eval_single(std::vector<bool>(8, false));
+  for (const bool bit : out) EXPECT_FALSE(bit);
+}
+
+TEST(Log2, ApproximationIsClose) {
+  // exp + frac/2^f approximates log2(a) within ~1/2^f + truncation.
+  for (std::uint64_t a = 3; a < 60000; a = a * 3 + 1) {
+    const auto r = circuits::ref_log2(a, 16, 8);
+    const double approx = static_cast<double>(r.exponent) +
+                          static_cast<double>(r.fraction) / 256.0;
+    EXPECT_NEAR(approx, std::log2(static_cast<double>(a)), 0.09) << a;
+  }
+}
+
+TEST(Log2, RejectsBadParams) {
+  EXPECT_THROW((void)circuits::make_log2(12, 4), std::invalid_argument);
+  EXPECT_THROW((void)circuits::make_log2(16, 16), std::invalid_argument);
+}
+
+// --- CORDIC sin --------------------------------------------------------------
+
+TEST(Sin, CircuitMatchesFixedPointReference) {
+  const std::size_t w = 12;
+  const auto nl = circuits::make_sin(w);
+  sim::Simulator sim(nl);
+  util::Xoshiro256 rng(2);
+  const std::uint64_t max_angle =
+      static_cast<std::uint64_t>(1.5707 * std::ldexp(1.0, w - 1));
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::uint64_t z = rng.bounded(max_angle);
+    std::vector<bool> in(w);
+    for (std::size_t b = 0; b < w; ++b) in[b] = ((z >> b) & 1) != 0;
+    const auto out = sim.eval_single(in);
+    std::uint64_t raw = 0;
+    for (std::size_t b = 0; b < out.size(); ++b) {
+      raw |= static_cast<std::uint64_t>(out[b]) << b;
+    }
+    const std::uint64_t mask = (1ULL << (w + 2)) - 1;
+    const auto want =
+        static_cast<std::uint64_t>(circuits::ref_sin_fixed(z, w)) & mask;
+    EXPECT_EQ(raw, want) << "angle " << z;
+  }
+}
+
+TEST(Sin, ReferenceApproximatesRealSine) {
+  const std::size_t w = 16;
+  const double scale = std::ldexp(1.0, w - 1);
+  for (double angle = 0.05; angle < 1.55; angle += 0.1) {
+    const auto z = static_cast<std::uint64_t>(angle * scale);
+    const double got =
+        static_cast<double>(circuits::ref_sin_fixed(z, w)) / scale;
+    EXPECT_NEAR(got, std::sin(angle), 0.002) << angle;
+  }
+}
+
+// --- memctrl -----------------------------------------------------------------
+
+TEST(MemCtrl, CircuitTracksModelCycleByCycle) {
+  const std::size_t aw = 4, dw = 8;
+  const auto nl = circuits::make_memctrl(aw, dw);
+  sim::Simulator sim(nl);
+  circuits::MemCtrlModel model(aw, dw);
+  util::Xoshiro256 rng(31);
+
+  for (int cycle = 0; cycle < 600; ++cycle) {
+    circuits::MemCtrlModel::Inputs in;
+    in.req_valid = rng.chance(0.6);
+    in.req_rw = rng.chance(0.5);
+    in.req_row = rng.bounded(1ULL << aw);
+    in.req_col = rng.bounded(1ULL << aw);
+    in.wdata = rng.bounded(1ULL << dw);
+    in.wmask = rng.bounded(1ULL << dw);
+
+    std::vector<bool> bits;
+    bits.push_back(in.req_valid);
+    bits.push_back(in.req_rw);
+    for (std::size_t b = 0; b < aw; ++b) bits.push_back(((in.req_row >> b) & 1) != 0);
+    for (std::size_t b = 0; b < aw; ++b) bits.push_back(((in.req_col >> b) & 1) != 0);
+    for (std::size_t b = 0; b < dw; ++b) bits.push_back(((in.wdata >> b) & 1) != 0);
+    for (std::size_t b = 0; b < dw; ++b) bits.push_back(((in.wmask >> b) & 1) != 0);
+
+    const auto out = sim.eval_single(bits);
+    const auto want = model.outputs(in);
+
+    // Outputs in declaration order: ack, busy, cmd[3], addr_out[aw], dq[dw].
+    EXPECT_EQ(out[0], want.ack) << "cycle " << cycle;
+    EXPECT_EQ(out[1], want.busy) << "cycle " << cycle;
+    std::uint64_t cmd = 0, addr = 0, dq = 0;
+    for (std::size_t b = 0; b < 3; ++b) cmd |= static_cast<std::uint64_t>(out[2 + b]) << b;
+    for (std::size_t b = 0; b < aw; ++b) addr |= static_cast<std::uint64_t>(out[5 + b]) << b;
+    for (std::size_t b = 0; b < dw; ++b) dq |= static_cast<std::uint64_t>(out[5 + aw + b]) << b;
+    EXPECT_EQ(cmd, want.cmd) << "cycle " << cycle;
+    EXPECT_EQ(addr, want.addr_out) << "cycle " << cycle;
+    EXPECT_EQ(dq, want.dq) << "cycle " << cycle;
+
+    sim.latch();
+    model.step(in);
+  }
+}
+
+TEST(MemCtrl, RefreshEventuallyFires) {
+  circuits::MemCtrlModel model(4, 8);
+  circuits::MemCtrlModel::Inputs idle;
+  bool saw_refresh = false;
+  for (int cycle = 0; cycle < 600; ++cycle) {
+    if (model.outputs(idle).cmd == 4) saw_refresh = true;
+    model.step(idle);
+  }
+  EXPECT_TRUE(saw_refresh);
+}
+
+// --- random logic / suite ------------------------------------------------------
+
+TEST(RandomLogic, DeterministicPerSeed) {
+  circuits::RandomLogicConfig config;
+  config.gates = 100;
+  config.seed = 5;
+  const auto a = circuits::make_random_logic(config);
+  const auto b = circuits::make_random_logic(config);
+  EXPECT_EQ(a.gate_count(), b.gate_count());
+  for (netlist::GateId g = 0; g < a.gate_count(); ++g) {
+    EXPECT_EQ(a.gate(g).type, b.gate(g).type);
+    EXPECT_EQ(a.gate(g).inputs, b.gate(g).inputs);
+  }
+  config.seed = 6;
+  const auto c = circuits::make_random_logic(config);
+  bool differs = c.gate_count() != a.gate_count();
+  for (netlist::GateId g = 0; !differs && g < a.gate_count(); ++g) {
+    differs = a.gate(g).type != c.gate(g).type || a.gate(g).inputs != c.gate(g).inputs;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RandomLogic, RespectsConfig) {
+  circuits::RandomLogicConfig config;
+  config.inputs = 20;
+  config.gates = 333;
+  config.outputs = 9;
+  const auto nl = circuits::make_random_logic(config);
+  EXPECT_EQ(nl.primary_inputs().size(), 20u);
+  EXPECT_EQ(nl.primary_outputs().size(), 9u);
+  EXPECT_EQ(nl.gate_count(), 20u + 333u);
+  EXPECT_NO_THROW(nl.validate());
+}
+
+TEST(Suite, EvaluationSuiteHasElevenNamedDesigns) {
+  const auto names = circuits::evaluation_names();
+  ASSERT_EQ(names.size(), 11u);
+  EXPECT_EQ(names.front(), "des3");
+  EXPECT_EQ(names.back(), "log2");
+  // Scaled-down suite builds quickly and validates.
+  const auto designs = circuits::evaluation_suite(0.4);
+  ASSERT_EQ(designs.size(), 11u);
+  for (const auto& d : designs) {
+    EXPECT_EQ(d.roles.size(), d.netlist.primary_inputs().size()) << d.name;
+    EXPECT_NO_THROW(d.netlist.validate()) << d.name;
+    EXPECT_GT(d.netlist.gate_count(), 50u) << d.name;
+  }
+}
+
+TEST(Suite, TrainingSuiteHasSixSmallDesigns) {
+  const auto designs = circuits::training_suite();
+  ASSERT_EQ(designs.size(), 6u);
+  for (const auto& d : designs) {
+    EXPECT_LT(d.netlist.gate_count(), 2000u) << d.name;
+    EXPECT_EQ(d.roles.size(), d.netlist.primary_inputs().size()) << d.name;
+  }
+}
+
+TEST(Suite, GetDesignByName) {
+  const auto d = circuits::get_design("voter", 0.3);
+  EXPECT_EQ(d.name, "voter");
+  EXPECT_THROW((void)circuits::get_design("nonexistent"), std::invalid_argument);
+  const auto t = circuits::get_design("train_adder16");
+  EXPECT_EQ(t.name, "train_adder16");
+}
+
+}  // namespace

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "circuits/random_logic.hpp"
+#include "graph/graph.hpp"
+
+namespace {
+
+using namespace polaris;
+using netlist::CellType;
+using netlist::GateId;
+using netlist::NetId;
+
+netlist::Netlist chain_netlist(int length) {
+  netlist::Netlist nl;
+  NetId n = nl.add_input("a");
+  for (int i = 0; i < length; ++i) n = nl.add_cell(CellType::kNot, {n});
+  nl.mark_output(n);
+  return nl;
+}
+
+TEST(GraphView, NeighborsAreUndirected) {
+  netlist::Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId y = nl.add_cell(CellType::kAnd, {a, b});
+  nl.mark_output(y);
+  const graph::GraphView g(nl);
+  const GateId and_gate = nl.net(y).driver;
+  // AND sees both input drivers; each input driver sees the AND back.
+  EXPECT_EQ(g.degree(and_gate), 2u);
+  EXPECT_TRUE(g.adjacent(and_gate, nl.net(a).driver));
+  EXPECT_TRUE(g.adjacent(nl.net(a).driver, and_gate));
+  EXPECT_FALSE(g.adjacent(nl.net(a).driver, nl.net(b).driver));
+}
+
+TEST(GraphView, DeduplicatesParallelEdges) {
+  netlist::Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId y = nl.add_cell(CellType::kXor, {a, a});  // same net twice
+  nl.mark_output(y);
+  const graph::GraphView g(nl);
+  EXPECT_EQ(g.degree(nl.net(y).driver), 1u);
+}
+
+TEST(GraphView, FanoutCreatesEdges) {
+  netlist::Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId x = nl.add_cell(CellType::kNot, {a});
+  const NetId y = nl.add_cell(CellType::kNot, {a});
+  nl.mark_output(x);
+  nl.mark_output(y);
+  const graph::GraphView g(nl);
+  EXPECT_EQ(g.degree(nl.net(a).driver), 2u);
+}
+
+TEST(Bfs, ChainOrderIsByDistance) {
+  const auto nl = chain_netlist(6);
+  const graph::GraphView g(nl);
+  // start from the middle gate (id 3 = third NOT).
+  const auto hood = graph::bfs_neighborhood(g, 3, 4);
+  ASSERT_EQ(hood.size(), 4u);
+  // distance-1 nodes first (2 and 4), then distance-2 (1 and 5).
+  EXPECT_TRUE((hood[0] == 2 && hood[1] == 4) || (hood[0] == 4 && hood[1] == 2));
+  EXPECT_TRUE((hood[2] == 1 && hood[3] == 5) || (hood[2] == 5 && hood[3] == 1));
+}
+
+TEST(Bfs, ExcludesStartAndHonorsLimit) {
+  const auto nl = chain_netlist(10);
+  const graph::GraphView g(nl);
+  const auto hood = graph::bfs_neighborhood(g, 0, 3);
+  EXPECT_EQ(hood.size(), 3u);
+  EXPECT_TRUE(std::find(hood.begin(), hood.end(), 0u) == hood.end());
+}
+
+TEST(Bfs, SmallComponentExhausts) {
+  netlist::Netlist nl;
+  const NetId a = nl.add_input("a");
+  nl.mark_output(nl.add_cell(CellType::kNot, {a}));
+  const graph::GraphView g(nl);
+  const auto hood = graph::bfs_neighborhood(g, 0, 10);
+  EXPECT_EQ(hood.size(), 1u);  // only the NOT is reachable
+}
+
+TEST(Bfs, ZeroLimitIsEmpty) {
+  const auto nl = chain_netlist(3);
+  const graph::GraphView g(nl);
+  EXPECT_TRUE(graph::bfs_neighborhood(g, 0, 0).empty());
+}
+
+TEST(Bfs, ScratchReuseMatchesFreshScratch) {
+  circuits::RandomLogicConfig config;
+  config.gates = 200;
+  config.seed = 3;
+  const auto nl = circuits::make_random_logic(config);
+  const graph::GraphView g(nl);
+  graph::BfsScratch scratch;
+  for (GateId start = 0; start < nl.gate_count(); start += 7) {
+    const auto with_scratch = graph::bfs_neighborhood(g, start, 7, scratch);
+    const auto fresh = graph::bfs_neighborhood(g, start, 7);
+    EXPECT_EQ(with_scratch, fresh) << "start " << start;
+  }
+}
+
+TEST(Bfs, DeterministicAcrossCalls) {
+  circuits::RandomLogicConfig config;
+  config.gates = 120;
+  config.seed = 9;
+  const auto nl = circuits::make_random_logic(config);
+  const graph::GraphView g(nl);
+  const auto first = graph::bfs_neighborhood(g, 50, 7);
+  const auto second = graph::bfs_neighborhood(g, 50, 7);
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace polaris::util;
+
+TEST(Rng, DeterministicForSeed) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b()) ? 1 : 0;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Xoshiro256 rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, (1ULL << 40)}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.bounded(bound), bound);
+  }
+}
+
+TEST(Rng, BoundedCoversAllResidues) {
+  Xoshiro256 rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.bounded(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256 rng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, GaussianMoments) {
+  Xoshiro256 rng(5);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Xoshiro256 a(11);
+  Xoshiro256 child = a.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == child()) ? 1 : 0;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  abc  "), "abc");
+  EXPECT_EQ(trim("abc"), "abc");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("\t x \n"), "x");
+}
+
+TEST(Strings, Split) {
+  const auto tokens = split("a, b,,c", ", ");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "a");
+  EXPECT_EQ(tokens[1], "b");
+  EXPECT_EQ(tokens[2], "c");
+  EXPECT_TRUE(split("", ",").empty());
+  EXPECT_TRUE(split(",,,", ",").empty());
+}
+
+TEST(Strings, StartsWithAndLower) {
+  EXPECT_TRUE(starts_with("module top", "module"));
+  EXPECT_FALSE(starts_with("mod", "module"));
+  EXPECT_EQ(to_lower("NaNd"), "nand");
+}
+
+TEST(Strings, FormatDouble) {
+  EXPECT_EQ(format_double(1.23456, 2), "1.23");
+  EXPECT_EQ(format_double(-0.5, 1), "-0.5");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table table({"name", "value"});
+  table.add_row({"alpha", "1.25"});
+  table.add_row({"b", "33.10"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("33.10"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(Table, PadsMissingCells) {
+  Table table({"a", "b", "c"});
+  table.add_row({"only"});
+  EXPECT_NO_THROW((void)table.render());
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  CsvWriter csv({"x", "y"});
+  csv.add_row({"plain", "with,comma"});
+  csv.add_row({"quote\"inside", "line\nbreak"});
+  const std::string out = csv.str();
+  EXPECT_NE(out.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(out.find("\"quote\"\"inside\""), std::string::npos);
+}
+
+TEST(Csv, WriteFileRoundTrip) {
+  CsvWriter csv({"h"});
+  csv.add_row({"v"});
+  const std::string path = testing::TempDir() + "/polaris_csv_test.csv";
+  csv.write_file(path);
+  FILE* f = fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  fclose(f);
+}
+
+TEST(Csv, WriteFileFailsOnBadPath) {
+  CsvWriter csv({"h"});
+  EXPECT_THROW(csv.write_file("/nonexistent_dir_xyz/file.csv"),
+               std::runtime_error);
+}
+
+}  // namespace

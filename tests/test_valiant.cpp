@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuits/aes_sbox.hpp"
+#include "circuits/arith.hpp"
+#include "sim/simulator.hpp"
+#include "valiant/valiant.hpp"
+
+namespace {
+
+using namespace polaris;
+
+const techlib::TechLibrary& lib() {
+  static const auto instance = techlib::TechLibrary::default_library();
+  return instance;
+}
+
+valiant::ValiantConfig fast_config() {
+  valiant::ValiantConfig config;
+  config.tvla.traces = 4096;
+  config.tvla.noise_std_fj = 1.0;
+  config.max_rounds = 4;
+  return config;
+}
+
+TEST(Valiant, ReducesLeakageOnSbox) {
+  const auto nl = circuits::make_aes_sbox_layer(1);
+  const auto result = valiant::run_valiant(nl, lib(), fast_config());
+  EXPECT_GT(result.rounds, 0u);
+  EXPECT_FALSE(result.masked_gates.empty());
+  EXPECT_LT(result.after.total_abs_t(), result.before.total_abs_t());
+  EXPECT_LT(result.after.leaky_count(), result.before.leaky_count());
+  EXPECT_GT(result.seconds, 0.0);
+}
+
+TEST(Valiant, MasksOnlyMaskableOriginalGates) {
+  const auto nl = circuits::make_aes_sbox_layer(1);
+  const auto result = valiant::run_valiant(nl, lib(), fast_config());
+  for (const auto g : result.masked_gates) {
+    ASSERT_LT(g, nl.gate_count());
+    EXPECT_TRUE(netlist::is_maskable(nl.gate(g).type));
+  }
+  // No duplicates.
+  auto sorted = result.masked_gates;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+}
+
+TEST(Valiant, CleanDesignNeedsNoRounds) {
+  // All inputs random-common: nothing is leaky, flow stops immediately.
+  const auto nl = circuits::make_adder(8);
+  auto config = fast_config();
+  config.tvla.input_class.assign(nl.primary_inputs().size(),
+                                 tvla::InputClass::kRandomCommon);
+  const auto result = valiant::run_valiant(nl, lib(), config);
+  EXPECT_EQ(result.rounds, 0u);
+  EXPECT_TRUE(result.masked_gates.empty());
+}
+
+TEST(Valiant, BatchFractionSpreadsRounds) {
+  const auto nl = circuits::make_aes_sbox_layer(1);
+  auto config = fast_config();
+  config.batch_fraction = 0.25;
+  config.max_rounds = 3;
+  const auto result = valiant::run_valiant(nl, lib(), config);
+  // Partial batches keep finding leaky gates -> uses the full round budget.
+  EXPECT_EQ(result.rounds, 3u);
+}
+
+TEST(Valiant, RespectsRoundBudget) {
+  const auto nl = circuits::make_aes_sbox_layer(2);
+  auto config = fast_config();
+  config.max_rounds = 1;
+  const auto result = valiant::run_valiant(nl, lib(), config);
+  EXPECT_LE(result.rounds, 1u);
+}
+
+TEST(Valiant, MaskedDesignStaysFunctional) {
+  const auto nl = circuits::make_aes_sbox_layer(1);
+  const auto result = valiant::run_valiant(nl, lib(), fast_config());
+  result.masked.validate();
+  // Spot-check functional equivalence.
+  sim::Simulator sim_orig(nl, 1), sim_masked(result.masked, 777);
+  for (unsigned combo = 0; combo < 32; ++combo) {
+    std::vector<bool> in(16);
+    for (std::size_t b = 0; b < 16; ++b) in[b] = ((combo * 37 + b) & 3) == 0;
+    EXPECT_EQ(sim_masked.eval_single(in), sim_orig.eval_single(in));
+  }
+}
+
+}  // namespace

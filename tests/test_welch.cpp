@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "tvla/welch.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace polaris::tvla;
+
+TEST(Welch, HandComputedExample) {
+  // Q0 = {1,2,3,4,5} (mean 3, s^2 2.5), Q1 = {2,4,6,8,10} (mean 6, s^2 10).
+  // t = (3-6)/sqrt(2.5/5 + 10/5) = -3/sqrt(2.5) = -1.897366596...
+  const auto r = welch_t(3.0, 2.5, 5, 6.0, 10.0, 5);
+  EXPECT_NEAR(r.t, -1.8973665961, 1e-9);
+  // dof = 2.5^2 / (0.5^2/4 + 2^2/4) = 6.25/1.0625 = 5.88235...
+  EXPECT_NEAR(r.dof, 5.8823529412, 1e-9);
+}
+
+TEST(Welch, SymmetryAndSign) {
+  const auto a = welch_t(1.0, 1.0, 100, 2.0, 1.0, 100);
+  const auto b = welch_t(2.0, 1.0, 100, 1.0, 1.0, 100);
+  EXPECT_DOUBLE_EQ(a.t, -b.t);
+  EXPECT_LT(a.t, 0.0);
+}
+
+TEST(Welch, DegenerateInputsGiveZero) {
+  EXPECT_EQ(welch_t(1.0, 1.0, 1, 2.0, 1.0, 100).t, 0.0);   // n0 too small
+  EXPECT_EQ(welch_t(1.0, 0.0, 100, 1.0, 0.0, 100).t, 0.0);  // zero variance
+}
+
+TEST(Welch, LeakyPredicateUsesThreshold) {
+  WelchResult r;
+  r.t = 4.6;
+  EXPECT_TRUE(r.leaky());
+  r.t = -4.6;
+  EXPECT_TRUE(r.leaky());
+  r.t = 4.4;
+  EXPECT_FALSE(r.leaky());
+  EXPECT_TRUE(r.leaky(4.0));
+  EXPECT_DOUBLE_EQ(kLeakageThreshold, 4.5);
+}
+
+TEST(Welch, AccumulatorAndTwoPassAgree) {
+  polaris::util::Xoshiro256 rng(42);
+  for (int trial = 0; trial < 15; ++trial) {
+    std::vector<double> q0(300), q1(400);
+    for (auto& x : q0) x = rng.gaussian() * 2.0 + 1.0;
+    for (auto& x : q1) x = rng.gaussian() * 1.5 + 1.2;
+    MomentAccumulator a0, a1;
+    for (const double x : q0) a0.add(x);
+    for (const double x : q1) a1.add(x);
+    const auto one_pass = welch_t(a0, a1);
+    const auto two_pass = welch_t_two_pass(q0, q1);
+    EXPECT_NEAR(one_pass.t, two_pass.t, 1e-9);
+    EXPECT_NEAR(one_pass.dof, two_pass.dof, 1e-6);
+  }
+}
+
+TEST(Welch, BinaryCountsMatchExplicitSamples) {
+  // welch_t_binary must equal the generic formula on the expanded samples.
+  polaris::util::Xoshiro256 rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::uint64_t n0 = 500, n1 = 600;
+    std::uint64_t ones0 = 0, ones1 = 0;
+    std::vector<double> q0, q1;
+    for (std::uint64_t i = 0; i < n0; ++i) {
+      const bool bit = rng.chance(0.3);
+      ones0 += bit;
+      q0.push_back(bit ? 1.0 : 0.0);
+    }
+    for (std::uint64_t i = 0; i < n1; ++i) {
+      const bool bit = rng.chance(0.5);
+      ones1 += bit;
+      q1.push_back(bit ? 1.0 : 0.0);
+    }
+    const auto fast = welch_t_binary(n0, ones0, n1, ones1);
+    const auto slow = welch_t_two_pass(q0, q1);
+    EXPECT_NEAR(fast.t, slow.t, 1e-9);
+  }
+}
+
+TEST(Welch, NullDistributionIsCalibrated) {
+  // Same-distribution classes: |t| should exceed 4.5 essentially never and
+  // the empirical standard deviation of t should be ~1.
+  polaris::util::Xoshiro256 rng(99);
+  int exceed = 0;
+  double sum_sq = 0.0;
+  const int trials = 400;
+  for (int trial = 0; trial < trials; ++trial) {
+    MomentAccumulator a0, a1;
+    for (int i = 0; i < 500; ++i) a0.add(rng.gaussian());
+    for (int i = 0; i < 500; ++i) a1.add(rng.gaussian());
+    const double t = welch_t(a0, a1).t;
+    sum_sq += t * t;
+    if (std::fabs(t) > 4.5) ++exceed;
+  }
+  EXPECT_EQ(exceed, 0);
+  EXPECT_NEAR(std::sqrt(sum_sq / trials), 1.0, 0.15);
+}
+
+TEST(Welch, DetectsPlantedDifference) {
+  polaris::util::Xoshiro256 rng(5);
+  MomentAccumulator a0, a1;
+  for (int i = 0; i < 2000; ++i) a0.add(rng.gaussian());
+  for (int i = 0; i < 2000; ++i) a1.add(rng.gaussian() + 0.5);
+  EXPECT_GT(std::fabs(welch_t(a0, a1).t), 4.5);
+}
+
+TEST(Welch, TwoPassRejectsTinySets) {
+  const std::vector<double> one{1.0};
+  const std::vector<double> many{1.0, 2.0, 3.0};
+  EXPECT_EQ(welch_t_two_pass(one, many).t, 0.0);
+}
+
+}  // namespace
