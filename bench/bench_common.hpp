@@ -4,6 +4,10 @@
 //   POLARIS_BENCH_TRACES   TVLA traces per campaign   (default 8192)
 //   POLARIS_BENCH_SCALE    design-size scale in [0,1] (default 1.0)
 //   POLARIS_BENCH_SEED     experiment seed            (default 1)
+//   POLARIS_BENCH_THREADS  worker threads for the shard-parallel trace
+//                          engine: 0 = all hardware threads, 1 = serial
+//                          (default 0). Results are independent of this
+//                          knob; only wall-clock changes.
 #pragma once
 
 #include <cstdlib>
@@ -32,6 +36,7 @@ struct BenchSetup {
   std::size_t traces = 8192;
   double scale = 1.0;
   std::uint64_t seed = 1;
+  std::size_t threads = 0;
   techlib::TechLibrary lib = techlib::TechLibrary::default_library();
 
   static BenchSetup from_env() {
@@ -39,6 +44,7 @@ struct BenchSetup {
     setup.traces = env_size("POLARIS_BENCH_TRACES", 8192);
     setup.scale = env_double("POLARIS_BENCH_SCALE", 1.0);
     setup.seed = env_size("POLARIS_BENCH_SEED", 1);
+    setup.threads = env_size("POLARIS_BENCH_THREADS", 0);
     return setup;
   }
 
@@ -59,6 +65,7 @@ struct BenchSetup {
     config.tvla.noise_std_fj = 1.0;
     config.tvla.seed = seed;
     config.seed = seed;
+    config.threads = threads;
     return config;
   }
 };

@@ -6,8 +6,10 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "engine/thread_pool.hpp"
 #include "util/csv.hpp"
 #include "util/strings.hpp"
+#include "util/timer.hpp"
 
 using namespace polaris;
 
@@ -20,8 +22,10 @@ int main() {
 
   auto design = circuits::get_design("des3", setup.scale);
   const auto tvla_config = core::tvla_config_for(polaris.config(), design);
+  util::Timer campaign_timer;
   const auto before =
       tvla::run_fixed_vs_random(design.netlist, setup.lib, tvla_config);
+  const double campaign_seconds = campaign_timer.seconds();
   const std::size_t leaky = before.leaky_count();
   std::printf("des3: %zu gates, %zu leaky before masking (|t| > %.1f)\n",
               design.netlist.gate_count(), leaky, tvla_config.threshold);
@@ -72,5 +76,17 @@ int main() {
               bench::reduction_percent(before.total_abs_t(),
                                        after.total_abs_t()));
   std::printf("raw series written to fig4_tvla_des3.csv\n");
+
+  // Machine-readable perf record (one JSON line, greppable by future PRs):
+  // wall-clock of the un-masked des3 campaign above.
+  const std::size_t threads =
+      engine::ThreadPool::resolve_threads(tvla_config.threads);
+  std::printf(
+      "{\"bench\":\"fig4_tvla\",\"design\":\"des3\",\"traces\":%zu,"
+      "\"threads\":%zu,\"campaign_seconds\":%.4f,\"traces_per_sec\":%.1f}\n",
+      setup.traces, threads, campaign_seconds,
+      campaign_seconds > 0.0
+          ? static_cast<double>(setup.traces) / campaign_seconds
+          : 0.0);
   return 0;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "engine/thread_pool.hpp"
 #include "graph/features.hpp"
 #include "masking/masking.hpp"
 #include "tvla/tvla.hpp"
@@ -23,12 +24,10 @@ CognitionStats generate_cognition_data(const circuits::Design& design,
   graph::FeatureExtractor extractor(design.netlist,
                                     graph::FeatureSpec{config.locality});
 
-  util::Timer leak_timer;
-  const tvla::LeakageReport original =
-      tvla::run_fixed_vs_random(design.netlist, lib, tvla_config);
-  stats.leak_estimate_seconds += leak_timer.seconds();
-
-  // R_gates: the maskable pool, consumed without replacement.
+  // Phase 1 - draw every iteration's S_gates up front. The selection
+  // sequence only consumes the RNG (never a TVLA result), so pre-drawing is
+  // equivalent to the sequential loop and frees the campaigns to run
+  // concurrently. R_gates is consumed without replacement.
   std::vector<GateId> pool;
   for (GateId g = 0; g < design.netlist.gate_count(); ++g) {
     if (netlist::is_maskable(design.netlist.gate(g).type)) pool.push_back(g);
@@ -38,7 +37,8 @@ CognitionStats generate_cognition_data(const circuits::Design& design,
                        (design.netlist.gate_count() << 8));
   const std::size_t mask_size = std::max<std::size_t>(1, config.mask_size);
 
-  while (pool.size() >= mask_size && stats.iterations < config.iterations) {
+  std::vector<std::vector<GateId>> selections;
+  while (pool.size() >= mask_size && selections.size() < config.iterations) {
     // S_gates <- random(Msize, R): partial Fisher-Yates from the back.
     std::vector<GateId> selected;
     selected.reserve(mask_size);
@@ -48,28 +48,47 @@ CognitionStats generate_cognition_data(const circuits::Design& design,
       pool[j] = pool.back();
       pool.pop_back();
     }
+    selections.push_back(std::move(selected));
+  }
+  stats.iterations = selections.size();
 
-    const auto modified =
-        masking::apply_masking(design.netlist, selected, config.scheme);
+  // Phase 2 - the original design's leak_estimate (shards in parallel),
+  // then one campaign per iteration, all independent: run them concurrently
+  // on the shared pool. Each task keeps only its selection's |t| values
+  // (mask_size doubles), never the whole per-group report.
+  // leak_estimate_seconds is the wall-clock of this phase.
+  util::Timer leak_timer;
+  const tvla::LeakageReport original =
+      tvla::run_fixed_vs_random(design.netlist, lib, tvla_config);
+  std::vector<std::vector<double>> t_mod(selections.size());
+  engine::ThreadPool::shared().parallel_for(
+      selections.size(), engine::ThreadPool::resolve_threads(config.threads),
+      [&](std::size_t it) {
+        const auto modified = masking::apply_masking(
+            design.netlist, selections[it], config.scheme);
+        const tvla::LeakageReport mod =
+            tvla::run_fixed_vs_random(modified.design, lib, tvla_config);
+        t_mod[it].reserve(selections[it].size());
+        for (const GateId g : selections[it]) {
+          t_mod[it].push_back(std::fabs(mod.t_value(g)));
+        }
+      });
+  stats.leak_estimate_seconds += leak_timer.seconds();
 
-    leak_timer.reset();
-    const tvla::LeakageReport mod =
-        tvla::run_fixed_vs_random(modified.design, lib, tvla_config);
-    stats.leak_estimate_seconds += leak_timer.seconds();
-
-    for (const GateId g : selected) {
+  // Phase 3 - label in iteration order (deterministic dataset layout).
+  for (std::size_t it = 0; it < selections.size(); ++it) {
+    for (std::size_t s = 0; s < selections[it].size(); ++s) {
+      const GateId g = selections[it][s];
       const double t_orig = std::fabs(original.t_value(g));
-      const double t_mod = std::fabs(mod.t_value(g));
       int label = 0;
       if (t_orig >= config.min_leak_for_label) {
-        const double ratio = 1.0 - t_mod / t_orig;  // compare(LG[i], Lmod[i])
+        const double ratio = 1.0 - t_mod[it][s] / t_orig;  // compare(LG, Lmod)
         label = ratio >= config.theta_r ? 1 : 0;
       }
       dataset.add(extractor.extract(g), label);
       ++stats.samples;
       stats.positives += static_cast<std::size_t>(label);
     }
-    ++stats.iterations;
   }
   return stats;
 }

@@ -68,6 +68,7 @@ std::vector<tvla::InputClass> input_classes_for(const circuits::Design& design) 
 tvla::TvlaConfig tvla_config_for(const PolarisConfig& config,
                                  const circuits::Design& design) {
   tvla::TvlaConfig tvla = config.tvla;
+  if (config.threads != 0) tvla.threads = config.threads;
   if (!design.roles.empty()) tvla.input_class = input_classes_for(design);
   return tvla;
 }

@@ -61,6 +61,14 @@ struct PolarisConfig {
   double coherence_smoothing = 0.5;
 
   std::uint64_t seed = 1;
+
+  /// Worker threads for the whole flow: Algorithm 1 runs its labelling
+  /// campaigns concurrently and every TVLA campaign shards its trace
+  /// budget. When nonzero this overrides `tvla.threads` via
+  /// tvla_config_for; 0 (auto) leaves an explicit `tvla.threads` alone.
+  /// 0 = all hardware threads, 1 = fully serial. Results are independent
+  /// of it.
+  std::size_t threads = 0;
 };
 
 /// Instantiates the configured classifier.

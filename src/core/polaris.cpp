@@ -4,6 +4,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "engine/thread_pool.hpp"
 #include "graph/features.hpp"
 #include "masking/masking.hpp"
 #include "ml/smote.hpp"
@@ -24,9 +25,19 @@ TrainingSummary Polaris::train(
   data_ = ml::Dataset{};
 
   util::Timer timer;
-  for (const auto& design : training_designs) {
-    generate_cognition_data(design, lib, config_, data_);
-  }
+  // Algorithm 1 is embarrassingly parallel across training designs: each
+  // design labels into its own dataset (so the shared pool can interleave
+  // designs and their campaigns freely), merged in design order afterwards
+  // for a deterministic sample layout.
+  std::vector<ml::Dataset> per_design(training_designs.size());
+  engine::ThreadPool::shared().parallel_for(
+      training_designs.size(),
+      engine::ThreadPool::resolve_threads(config_.threads),
+      [&](std::size_t i) {
+        generate_cognition_data(training_designs[i], lib, config_,
+                                per_design[i]);
+      });
+  for (const auto& partial : per_design) data_.append(partial);
   summary.dataset_seconds = timer.seconds();
   summary.samples = data_.size();
   summary.positives = data_.positives();

@@ -1,0 +1,117 @@
+#include "engine/thread_pool.hpp"
+
+#include <algorithm>
+#include <exception>
+
+namespace polaris::engine {
+
+namespace {
+/// True while this thread executes a job's fn; parallel_for consults it so
+/// nested fan-outs run inline instead of compounding their caps.
+thread_local bool t_inside_job = false;
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::drive(std::unique_lock<std::mutex>& lock,
+                       const std::shared_ptr<Job>& job) {
+  while (job->next < job->n_total) {
+    // Fail fast: once any index threw, credit the unclaimed remainder as
+    // completed (in-flight calls still count themselves on return) so the
+    // submitter wakes without running the rest of a doomed job.
+    if (job->error) {
+      job->completed += job->n_total - job->next;
+      job->next = job->n_total;
+      if (job->completed == job->n_total) done_cv_.notify_all();
+      break;
+    }
+    const std::size_t index = job->next++;
+    lock.unlock();
+    std::exception_ptr error;
+    t_inside_job = true;
+    try {
+      job->fn(index);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    t_inside_job = false;
+    lock.lock();
+    if (error && !job->error) job->error = error;
+    if (++job->completed == job->n_total) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n, std::size_t max_concurrency,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  std::size_t tickets = workers_.size();
+  if (max_concurrency > 0) tickets = std::min(tickets, max_concurrency - 1);
+  if (n == 1 || tickets == 0 || t_inside_job) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  const auto job = std::make_shared<Job>(n, tickets, fn);
+  std::unique_lock<std::mutex> lock(mutex_);
+  jobs_.push_back(job);
+  work_cv_.notify_all();
+  drive(lock, job);  // the submitting thread always helps
+  done_cv_.wait(lock, [&] { return job->completed == job->n_total; });
+  if (const auto it = std::find(jobs_.begin(), jobs_.end(), job);
+      it != jobs_.end()) {
+    jobs_.erase(it);
+  }
+  if (job->error) {
+    lock.unlock();
+    std::rethrow_exception(job->error);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    std::shared_ptr<Job> job;
+    work_cv_.wait(lock, [&] {
+      if (stop_) return true;
+      for (const auto& candidate : jobs_) {
+        if (candidate->tickets > 0 && candidate->next < candidate->n_total &&
+            !candidate->error) {
+          job = candidate;
+          return true;
+        }
+      }
+      return false;
+    });
+    if (stop_) return;
+    if (!job) continue;
+    --job->tickets;
+    drive(lock, job);
+  }
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(resolve_threads(0) - 1);
+  return pool;
+}
+
+std::size_t ThreadPool::resolve_threads(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1 : static_cast<std::size_t>(hardware);
+}
+
+}  // namespace polaris::engine

@@ -1,0 +1,115 @@
+// Shard-parallel trace engine.
+//
+// A TVLA campaign is a loop of independent *batches* (64 lanes each, or
+// 64 lanes x cycles_per_batch samples for sequential designs). The engine
+// splits the batch index space into contiguous shards, runs each shard on
+// the shared thread pool with its own simulator + RNG streams, and merges
+// the shards' streaming accumulators in shard-index order.
+//
+// Determinism contract (tested in tests/test_engine.cpp):
+//  * every random quantity a batch consumes is derived from
+//    stream_seed(campaign_seed, batch_index, tag) - never from "whatever
+//    the previous batch left in the generator". Batch b therefore produces
+//    the same samples no matter which shard or thread executes it;
+//  * the shard plan depends only on the batch count (never on the thread
+//    count), so the floating-point merge order is fixed;
+//  * merges happen on the submitting thread in ascending shard order.
+// Together these make a campaign's LeakageReport bit-identical for any
+// `threads` setting, including 1.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "engine/thread_pool.hpp"
+
+namespace polaris::engine {
+
+/// Expands (seed, index, tag) into an independent 64-bit stream seed via
+/// two rounds of splitmix64-style mixing. Distinct (index, tag) pairs give
+/// uncorrelated child streams; feeding the result to util::Xoshiro256 (whose
+/// constructor runs its own splitmix expansion) yields the per-batch
+/// generators used by the TVLA protocol layer.
+[[nodiscard]] std::uint64_t stream_seed(std::uint64_t seed, std::uint64_t index,
+                                        std::uint64_t tag) noexcept;
+
+/// Contiguous partition of [0, total_batches) into shards. Pure function of
+/// the batch count: thread count never changes shard boundaries.
+struct ShardPlan {
+  std::size_t total_batches = 0;
+  std::size_t shard_count = 0;
+  std::size_t batches_per_shard = 0;  // every shard except possibly the last
+
+  [[nodiscard]] static ShardPlan make(std::size_t total_batches);
+
+  [[nodiscard]] std::size_t begin(std::size_t shard) const {
+    return shard * batches_per_shard;
+  }
+  [[nodiscard]] std::size_t end(std::size_t shard) const {
+    const std::size_t e = begin(shard) + batches_per_shard;
+    return e < total_batches ? e : total_batches;
+  }
+};
+
+/// Target shard granularity: enough shards to load-balance a wide machine,
+/// few enough that per-shard simulator construction stays negligible. The
+/// minimum keeps short campaigns (notably sequential designs, whose batches
+/// each carry 64 * cycles_per_batch samples) parallel down to one batch per
+/// shard instead of collapsing to a serial plan.
+inline constexpr std::size_t kTargetBatchesPerShard = 4;
+inline constexpr std::size_t kMinShardsPerCampaign = 16;
+inline constexpr std::size_t kMaxShardsPerCampaign = 64;
+
+class TraceEngine {
+ public:
+  /// threads = 0 selects all hardware threads; 1 runs fully inline.
+  explicit TraceEngine(std::size_t threads = 0)
+      : threads_(ThreadPool::resolve_threads(threads)) {}
+
+  [[nodiscard]] std::size_t threads() const { return threads_; }
+
+  /// Runs `total_batches` batches sharded across the pool and returns the
+  /// merged accumulator state.
+  ///   make(shard_index)        -> State    (own simulator, zeroed moments)
+  ///   run_batch(state, batch)  ->          (batch = global batch index)
+  ///   merge(into, from)        ->          (called in ascending shard order)
+  template <class State, class MakeState, class RunBatch, class Merge>
+  State run(std::size_t total_batches, MakeState&& make, RunBatch&& run_batch,
+            Merge&& merge) const {
+    const ShardPlan plan = ShardPlan::make(total_batches);
+    if (plan.shard_count == 0) return make(0);
+
+    // The shard/merge structure is executed identically at every thread
+    // count (threads only changes *placement*); otherwise the float merge
+    // order would differ between threads=1 and threads=N.
+    std::vector<std::optional<State>> states(plan.shard_count);
+    const auto run_shard = [&](std::size_t shard) {
+      State state = make(shard);
+      for (std::size_t b = plan.begin(shard); b < plan.end(shard); ++b) {
+        run_batch(state, b);
+      }
+      states[shard].emplace(std::move(state));
+    };
+    if (threads_ <= 1 || plan.shard_count == 1) {
+      for (std::size_t shard = 0; shard < plan.shard_count; ++shard) {
+        run_shard(shard);
+      }
+    } else {
+      ThreadPool::shared().parallel_for(plan.shard_count, threads_, run_shard);
+    }
+
+    State total = std::move(*states[0]);
+    for (std::size_t shard = 1; shard < plan.shard_count; ++shard) {
+      merge(total, std::move(*states[shard]));
+    }
+    return total;
+  }
+
+ private:
+  std::size_t threads_;
+};
+
+}  // namespace polaris::engine

@@ -14,6 +14,7 @@ PowerModel::PowerModel(const netlist::Netlist& netlist,
     energies_[g] = lib.switch_energy(gate.type, gate.inputs.size()) +
                    kLoadEnergyPerFanoutFj * static_cast<double>(fanout);
     static_leakage_nw_ += lib.leakage(gate.type, gate.inputs.size());
+    if (energies_[g] > 0.0) active_gates_.push_back(g);
   }
 }
 

@@ -27,6 +27,14 @@ class PowerModel {
     return energies_;
   }
 
+  /// Gates with nonzero switching energy, ascending id - the set whose
+  /// toggles contribute to power traces. Campaign shard loops iterate this
+  /// instead of re-scanning all gates, fusing group-energy accumulation
+  /// with toggle readout.
+  [[nodiscard]] const std::vector<netlist::GateId>& active_gates() const {
+    return active_gates_;
+  }
+
   /// Total-power samples for all 64 lanes of the simulator's last eval():
   /// out[l] = sum over gates of E_g * toggle_g[lane l]. This is the
   /// "aggregate power trace" view an oscilloscope-level attacker sees.
@@ -39,6 +47,7 @@ class PowerModel {
  private:
   const netlist::Netlist& netlist_;
   std::vector<double> energies_;
+  std::vector<netlist::GateId> active_gates_;
   double static_leakage_nw_ = 0.0;
 };
 

@@ -49,6 +49,10 @@ class Simulator {
   void latch();
   /// Clears DFF state and all signal values to 0 and reseeds mask randomness.
   void reset(std::uint64_t seed);
+  /// Reseeds the mask-share (kRand) randomness only, leaving signal state
+  /// untouched. Trace shards key this per batch so a batch's randomness
+  /// never depends on which shard executed the preceding batches.
+  void reseed(std::uint64_t seed) { rng_ = util::Xoshiro256(seed); }
 
   [[nodiscard]] std::uint64_t value(netlist::NetId net) const {
     return values_[net];

@@ -49,6 +49,19 @@ void MomentAccumulator::merge(const MomentAccumulator& other) noexcept {
   n_ = static_cast<std::size_t>(n);
 }
 
+void CampaignMoments::merge(const CampaignMoments& other) {
+  n_fixed_ += other.n_fixed_;
+  n_random_ += other.n_random_;
+  for (std::size_t g = 0; g < single_ones_fixed_.size(); ++g) {
+    single_ones_fixed_[g] += other.single_ones_fixed_[g];
+    single_ones_random_[g] += other.single_ones_random_[g];
+  }
+  for (std::size_t m = 0; m < multi_fixed_.size(); ++m) {
+    multi_fixed_[m].merge(other.multi_fixed_[m]);
+    multi_random_[m].merge(other.multi_random_[m]);
+  }
+}
+
 double MomentAccumulator::central_moment(int d) const noexcept {
   if (n_ == 0) return 0.0;
   const double n = static_cast<double>(n_);

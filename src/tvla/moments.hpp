@@ -14,6 +14,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <vector>
 
 namespace polaris::tvla {
 
@@ -45,6 +47,68 @@ class MomentAccumulator {
   double s2_ = 0.0;  // sum (x-mean)^2
   double s3_ = 0.0;
   double s4_ = 0.0;
+};
+
+/// Mergeable per-campaign statistics block - the unit of state a trace
+/// shard accumulates and the engine merges (engine/trace_engine.hpp).
+///
+/// Two representations coexist, mirroring the campaign fast paths:
+///  * single-member gate groups: samples are binary {0, E}, so only toggle
+///    counts per class are kept (exact integer merge);
+///  * multi-member groups: real-valued group-energy sums per trace, kept as
+///    one MomentAccumulator per class (Chan/Pebay merge).
+/// Class sample counts (fixed/random lane totals) are shared by all groups
+/// of a campaign and stored once.
+class CampaignMoments {
+ public:
+  CampaignMoments() = default;
+  CampaignMoments(std::size_t group_count, std::size_t multi_group_count)
+      : single_ones_fixed_(group_count, 0),
+        single_ones_random_(group_count, 0),
+        multi_fixed_(multi_group_count),
+        multi_random_(multi_group_count) {}
+
+  /// Per sample step: how many lanes were in each class.
+  void add_lane_counts(std::uint64_t fixed, std::uint64_t random) noexcept {
+    n_fixed_ += fixed;
+    n_random_ += random;
+  }
+  /// Single-member group: toggle counts observed in each class.
+  void add_single_ones(std::size_t group, std::uint64_t fixed,
+                       std::uint64_t random) noexcept {
+    single_ones_fixed_[group] += fixed;
+    single_ones_random_[group] += random;
+  }
+  /// Multi-member group: one summed-energy sample in the given class.
+  void add_multi_sample(std::size_t multi_index, bool fixed_class,
+                        double value) noexcept {
+    (fixed_class ? multi_fixed_ : multi_random_)[multi_index].add(value);
+  }
+
+  /// Combines another shard's statistics. Integer counters merge exactly;
+  /// moment accumulators use the pairwise Chan merge, so calling merge() in
+  /// a fixed shard order gives bit-reproducible results.
+  void merge(const CampaignMoments& other);
+
+  [[nodiscard]] std::uint64_t n_fixed() const noexcept { return n_fixed_; }
+  [[nodiscard]] std::uint64_t n_random() const noexcept { return n_random_; }
+  [[nodiscard]] std::uint64_t single_ones_fixed(std::size_t group) const noexcept {
+    return single_ones_fixed_[group];
+  }
+  [[nodiscard]] std::uint64_t single_ones_random(std::size_t group) const noexcept {
+    return single_ones_random_[group];
+  }
+  [[nodiscard]] const MomentAccumulator& multi_fixed(std::size_t i) const noexcept {
+    return multi_fixed_[i];
+  }
+  [[nodiscard]] const MomentAccumulator& multi_random(std::size_t i) const noexcept {
+    return multi_random_[i];
+  }
+
+ private:
+  std::uint64_t n_fixed_ = 0, n_random_ = 0;
+  std::vector<std::uint64_t> single_ones_fixed_, single_ones_random_;
+  std::vector<MomentAccumulator> multi_fixed_, multi_random_;
 };
 
 }  // namespace polaris::tvla

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "engine/trace_engine.hpp"
 #include "power/power_model.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
@@ -35,6 +36,14 @@ std::vector<GateId> LeakageReport::leaky_groups() const {
   return leaky;
 }
 
+std::size_t LeakageReport::leaky_count() const {
+  std::size_t count = 0;
+  for (GateId g = 0; g < t_per_group_.size(); ++g) {
+    if (measured_[g] && std::abs(t_per_group_[g]) > threshold_) ++count;
+  }
+  return count;
+}
+
 double LeakageReport::total_abs_t() const {
   double total = 0.0;
   for (GateId g = 0; g < t_per_group_.size(); ++g) {
@@ -52,6 +61,13 @@ namespace {
 
 enum class Mode { kFixedVsRandom, kFixedVsFixed };
 
+// Stream tags for engine::stream_seed: every random quantity a batch
+// consumes is keyed by (campaign seed, batch index, tag), making batches
+// independent of execution order and shard placement (see DESIGN.md).
+constexpr std::uint64_t kTagStimulus = 0x5354494d554c5553ULL;  // "STIMULUS"
+constexpr std::uint64_t kTagClassMask = 0x434c415353ULL;  // "CLASS"
+constexpr std::uint64_t kTagMaskShares = 0x52414e44ULL;  // kRand cells
+
 std::vector<bool> derive_fixed_vector(std::size_t n, std::uint64_t seed) {
   util::Xoshiro256 rng(seed);
   std::vector<bool> bits(n);
@@ -59,17 +75,15 @@ std::vector<bool> derive_fixed_vector(std::size_t n, std::uint64_t seed) {
   return bits;
 }
 
+/// Thin protocol layer: owns the campaign-wide, read-only context (design,
+/// power model, group layout, fixed vectors) and defines how one batch of
+/// traces is stimulated and sampled. Execution and merging belong to the
+/// trace engine; all mutable per-shard state lives in ShardState.
 class Campaign {
  public:
   Campaign(const netlist::Netlist& design, const techlib::TechLibrary& lib,
            const TvlaConfig& config, Mode mode)
-      : design_(design),
-        config_(config),
-        mode_(mode),
-        power_(design, lib),
-        master_(config.seed),
-        stimulus_(config.seed ^ 0x571371a5ULL),
-        simulator_(design, config.seed ^ 0x5e1f5eedULL) {
+      : design_(design), config_(config), mode_(mode), power_(design, lib) {
     const std::size_t n_inputs = design.primary_inputs().size();
     fixed_a_ = config.fixed_input.empty()
                    ? derive_fixed_vector(n_inputs, config.seed ^ 0xf1e1dcafeULL)
@@ -83,32 +97,54 @@ class Campaign {
     if (!config.input_class.empty() && config.input_class.size() != n_inputs) {
       throw std::invalid_argument("TVLA input_class size mismatch");
     }
+    sequential_ = design_has_dff();
     classify_groups();
   }
 
   LeakageReport run() {
-    const bool sequential = !design_sequential_empty();
     const std::size_t lanes = sim::kLanes;
     const std::size_t samples_per_batch =
-        sequential ? lanes * config_.cycles_per_batch : lanes;
+        sequential_ ? lanes * config_.cycles_per_batch : lanes;
     const std::size_t batches =
         config_.traces == 0
             ? 0
             : (config_.traces + samples_per_batch - 1) / samples_per_batch;
 
-    for (std::size_t b = 0; b < batches; ++b) {
-      if (sequential) run_sequential_batch(b);
-      else run_combinational_batch();
-    }
-    return finalize();
+    const engine::TraceEngine eng(config_.threads);
+    ShardState merged = eng.run<ShardState>(
+        batches, [this](std::size_t) { return make_shard_state(); },
+        [this](ShardState& state, std::size_t batch) { run_batch(state, batch); },
+        [](ShardState& into, ShardState&& from) {
+          into.moments.merge(from.moments);
+        });
+    return finalize(merged.moments);
   }
 
  private:
-  [[nodiscard]] bool design_sequential_empty() const {
+  /// Everything one shard mutates: its own simulator, the per-batch
+  /// stimulus stream, the mergeable statistics, and the per-lane group
+  /// energy scratch (the fused power accumulation - no per-lane power
+  /// vector is ever materialized).
+  struct ShardState {
+    sim::Simulator simulator;
+    util::Xoshiro256 stimulus;
+    CampaignMoments moments;
+    std::vector<double> lane_sums;
+  };
+
+  [[nodiscard]] ShardState make_shard_state() const {
+    return ShardState{sim::Simulator(design_, /*seed=*/0),
+                      util::Xoshiro256(0),
+                      CampaignMoments(group_count_, multi_group_ids_.size()),
+                      std::vector<double>(multi_group_ids_.size() * sim::kLanes,
+                                          0.0)};
+  }
+
+  [[nodiscard]] bool design_has_dff() const {
     for (const auto& gate : design_.gates()) {
-      if (gate.type == netlist::CellType::kDff) return false;
+      if (gate.type == netlist::CellType::kDff) return true;
     }
-    return true;
+    return false;
   }
 
   void classify_groups() {
@@ -119,15 +155,12 @@ class Campaign {
     group_count_ = static_cast<std::size_t>(max_group) + 1;
 
     std::vector<std::uint32_t> group_size(group_count_, 0);
-    for (GateId g = 0; g < design_.gate_count(); ++g) {
-      if (power_.gate_energy(g) > 0.0) {
-        measured_gates_.push_back(g);
-        group_size[design_.gate(g).group]++;
-      }
+    for (const GateId g : power_.active_gates()) {
+      group_size[design_.gate(g).group]++;
     }
     group_measured_.assign(group_count_, false);
     group_multi_index_.assign(group_count_, kNotMulti);
-    for (const GateId g : measured_gates_) {
+    for (const GateId g : power_.active_gates()) {
       group_measured_[design_.gate(g).group] = true;
     }
     // Multi-member groups need real-valued samples; single-member groups use
@@ -138,21 +171,16 @@ class Campaign {
         multi_group_ids_.push_back(grp);
       }
     }
-    single_ones_fixed_.assign(group_count_, 0);
-    single_ones_random_.assign(group_count_, 0);
     // For single-member groups the binary counters need the member's energy
     // to place the {0, E} samples on the physical scale the noise floor
     // lives on.
     single_energy_.assign(group_count_, 0.0);
-    for (const GateId g : measured_gates_) {
+    for (const GateId g : power_.active_gates()) {
       const GateId grp = design_.gate(g).group;
       if (group_multi_index_[grp] == kNotMulti) {
         single_energy_[grp] = power_.gate_energy(g);
       }
     }
-    multi_acc_fixed_.resize(multi_group_ids_.size());
-    multi_acc_random_.resize(multi_group_ids_.size());
-    lane_sums_.assign(multi_group_ids_.size() * sim::kLanes, 0.0);
   }
 
   [[nodiscard]] InputClass input_class(std::size_t pi_index) const {
@@ -163,17 +191,17 @@ class Campaign {
   /// Pre-transition state: every trace starts from a fresh random vector on
   /// data-like inputs; fixed-common inputs (the key) hold their fixed value
   /// even between traces, as a loaded key register would.
-  void apply_base_inputs() {
+  void apply_base_inputs(ShardState& state) const {
     const auto& inputs = design_.primary_inputs();
     for (std::size_t i = 0; i < inputs.size(); ++i) {
       const std::uint64_t word = input_class(i) == InputClass::kFixedCommon
                                      ? (fixed_a_[i] ? ~0ULL : 0ULL)
-                                     : stimulus_();
-      simulator_.set_input(i, word);
+                                     : state.stimulus();
+      state.simulator.set_input(i, word);
     }
   }
 
-  void apply_target_inputs(std::uint64_t fixed_mask) {
+  void apply_target_inputs(ShardState& state, std::uint64_t fixed_mask) const {
     const auto& inputs = design_.primary_inputs();
     for (std::size_t i = 0; i < inputs.size(); ++i) {
       const std::uint64_t a = fixed_a_[i] ? ~0ULL : 0ULL;
@@ -182,59 +210,70 @@ class Campaign {
       switch (input_class(i)) {
         case InputClass::kSensitive:
           word = (mode_ == Mode::kFixedVsRandom)
-                     ? (a & fixed_mask) | (stimulus_() & ~fixed_mask)
+                     ? (a & fixed_mask) | (state.stimulus() & ~fixed_mask)
                      : (a & fixed_mask) | (b & ~fixed_mask);
           break;
         case InputClass::kFixedCommon:
           word = a;
           break;
         case InputClass::kRandomCommon:
-          word = stimulus_();
+          word = state.stimulus();
           break;
       }
-      simulator_.set_input(i, word);
+      state.simulator.set_input(i, word);
     }
   }
 
-  void run_combinational_batch() {
-    apply_base_inputs();
-    simulator_.eval();  // base state; not sampled
-    const std::uint64_t mask = master_();
-    apply_target_inputs(mask);
-    simulator_.eval();
-    sample(mask);
-  }
+  /// One batch, fully keyed by its global index: stimulus stream, class
+  /// mask, and mask-share randomness are all derived from (seed, batch),
+  /// so any shard on any thread reproduces it exactly.
+  void run_batch(ShardState& state, std::size_t batch) const {
+    const auto index = static_cast<std::uint64_t>(batch);
+    state.stimulus = util::Xoshiro256(
+        engine::stream_seed(config_.seed, index, kTagStimulus));
+    const std::uint64_t mask =
+        engine::stream_seed(config_.seed, index, kTagClassMask);
+    const std::uint64_t sim_seed =
+        engine::stream_seed(config_.seed, index, kTagMaskShares);
 
-  void run_sequential_batch(std::size_t batch_index) {
-    simulator_.reset(config_.seed ^ (0x9e3779b9ULL * (batch_index + 1)));
-    const std::uint64_t mask = master_();
-    for (std::size_t cycle = 0;
-         cycle < config_.warmup_cycles + config_.cycles_per_batch; ++cycle) {
-      apply_target_inputs(mask);
-      simulator_.eval();
-      if (cycle >= config_.warmup_cycles) sample(mask);
-      simulator_.latch();
+    if (sequential_) {
+      state.simulator.reset(sim_seed);
+      for (std::size_t cycle = 0;
+           cycle < config_.warmup_cycles + config_.cycles_per_batch; ++cycle) {
+        apply_target_inputs(state, mask);
+        state.simulator.eval();
+        if (cycle >= config_.warmup_cycles) sample(state, mask);
+        state.simulator.latch();
+      }
+    } else {
+      state.simulator.reseed(sim_seed);
+      apply_base_inputs(state);
+      state.simulator.eval();  // base state; not sampled
+      apply_target_inputs(state, mask);
+      state.simulator.eval();
+      sample(state, mask);
     }
   }
 
-  void sample(std::uint64_t fixed_mask) {
-    const auto n_fixed = static_cast<std::uint64_t>(__builtin_popcountll(fixed_mask));
-    n_fixed_ += n_fixed;
-    n_random_ += sim::kLanes - n_fixed;
+  void sample(ShardState& state, std::uint64_t fixed_mask) const {
+    const auto n_fixed =
+        static_cast<std::uint64_t>(__builtin_popcountll(fixed_mask));
+    state.moments.add_lane_counts(n_fixed, sim::kLanes - n_fixed);
 
-    for (const GateId g : measured_gates_) {
-      const std::uint64_t toggles = simulator_.toggles(g);
+    for (const GateId g : power_.active_gates()) {
+      const std::uint64_t toggles = state.simulator.toggles(g);
       if (toggles == 0) continue;
       const GateId group = design_.gate(g).group;
       const std::uint32_t multi = group_multi_index_[group];
       if (multi == kNotMulti) {
-        single_ones_fixed_[group] +=
-            static_cast<std::uint64_t>(__builtin_popcountll(toggles & fixed_mask));
-        single_ones_random_[group] +=
-            static_cast<std::uint64_t>(__builtin_popcountll(toggles & ~fixed_mask));
+        state.moments.add_single_ones(
+            group,
+            static_cast<std::uint64_t>(__builtin_popcountll(toggles & fixed_mask)),
+            static_cast<std::uint64_t>(
+                __builtin_popcountll(toggles & ~fixed_mask)));
       } else {
         const double energy = power_.gate_energy(g);
-        double* lane_sum = &lane_sums_[multi * sim::kLanes];
+        double* lane_sum = &state.lane_sums[multi * sim::kLanes];
         std::uint64_t bits = toggles;
         while (bits != 0) {
           const int lane = __builtin_ctzll(bits);
@@ -245,45 +284,31 @@ class Campaign {
     }
     // Every sample step contributes one sample per lane to each multi group
     // (possibly zero-valued); push and clear.
-    if (!multi_group_ids_.empty()) {
-      for (std::size_t m = 0; m < multi_group_ids_.size(); ++m) {
-        double* lane_sum = &lane_sums_[m * sim::kLanes];
-        for (std::size_t lane = 0; lane < sim::kLanes; ++lane) {
-          const bool fixed = ((fixed_mask >> lane) & 1ULL) != 0;
-          (fixed ? multi_acc_fixed_[m] : multi_acc_random_[m]).add(lane_sum[lane]);
-          lane_sum[lane] = 0.0;
-        }
+    for (std::size_t m = 0; m < multi_group_ids_.size(); ++m) {
+      double* lane_sum = &state.lane_sums[m * sim::kLanes];
+      for (std::size_t lane = 0; lane < sim::kLanes; ++lane) {
+        const bool fixed = ((fixed_mask >> lane) & 1ULL) != 0;
+        state.moments.add_multi_sample(m, fixed, lane_sum[lane]);
+        lane_sum[lane] = 0.0;
       }
     }
   }
 
-  LeakageReport finalize() {
+  LeakageReport finalize(const CampaignMoments& moments) {
     const double noise_var = config_.noise_std_fj * config_.noise_std_fj;
     std::vector<double> t(group_count_, 0.0);
     for (GateId grp = 0; grp < group_count_; ++grp) {
       if (!group_measured_[grp]) continue;
       const std::uint32_t multi = group_multi_index_[grp];
       if (multi == kNotMulti) {
-        // Samples are {0, E}; with additive noise the class means are
-        // E*p and the sample variances E^2*v + sigma^2.
-        if (n_fixed_ < 2 || n_random_ < 2) continue;
-        const double energy = single_energy_[grp];
-        const double n0 = static_cast<double>(n_fixed_);
-        const double n1 = static_cast<double>(n_random_);
-        const double p0 = static_cast<double>(single_ones_fixed_[grp]) / n0;
-        const double p1 = static_cast<double>(single_ones_random_[grp]) / n1;
-        const double v0 = n0 * p0 * (1.0 - p0) / (n0 - 1.0);
-        const double v1 = n1 * p1 * (1.0 - p1) / (n1 - 1.0);
-        t[grp] = welch_t(energy * p0, energy * energy * v0 + noise_var, n0,
-                         energy * p1, energy * energy * v1 + noise_var, n1)
+        t[grp] = welch_t_binary_energy(
+                     moments.n_fixed(), moments.single_ones_fixed(grp),
+                     moments.n_random(), moments.single_ones_random(grp),
+                     single_energy_[grp], noise_var)
                      .t;
       } else {
-        const auto& q0 = multi_acc_fixed_[multi];
-        const auto& q1 = multi_acc_random_[multi];
-        t[grp] = welch_t(q0.mean(), q0.variance_sample() + noise_var,
-                         static_cast<double>(q0.count()), q1.mean(),
-                         q1.variance_sample() + noise_var,
-                         static_cast<double>(q1.count()))
+        t[grp] = welch_t(moments.multi_fixed(multi),
+                         moments.multi_random(multi), noise_var)
                      .t;
       }
     }
@@ -297,22 +322,14 @@ class Campaign {
   TvlaConfig config_;
   Mode mode_;
   power::PowerModel power_;
-  util::Xoshiro256 master_;
-  util::Xoshiro256 stimulus_;
-  sim::Simulator simulator_;
+  bool sequential_ = false;
   std::vector<bool> fixed_a_, fixed_b_;
 
   std::size_t group_count_ = 0;
-  std::vector<GateId> measured_gates_;
   std::vector<bool> group_measured_;
   std::vector<std::uint32_t> group_multi_index_;
   std::vector<GateId> multi_group_ids_;
-
-  std::uint64_t n_fixed_ = 0, n_random_ = 0;
-  std::vector<std::uint64_t> single_ones_fixed_, single_ones_random_;
   std::vector<double> single_energy_;
-  std::vector<MomentAccumulator> multi_acc_fixed_, multi_acc_random_;
-  std::vector<double> lane_sums_;
 };
 
 }  // namespace

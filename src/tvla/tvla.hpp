@@ -14,6 +14,12 @@
 //    values) are compared.
 // Sequential designs (DFFs present) run free-running multi-cycle traces with
 // per-cycle sampling instead of vector pairs.
+//
+// Execution: campaigns are a thin protocol layer over the shard-parallel
+// trace engine (engine/trace_engine.hpp). The trace budget is split into
+// shards, each owning its own Simulator and per-batch-keyed RNG streams;
+// shard statistics are mergeable CampaignMoments combined in shard order.
+// Reports are bit-identical for every `threads` setting (see DESIGN.md).
 #pragma once
 
 #include <cstdint>
@@ -42,6 +48,11 @@ struct TvlaConfig {
   std::size_t cycles_per_batch = 32;
   double threshold = kLeakageThreshold;
   std::uint64_t seed = 1;
+  /// Worker threads for trace collection: 0 = all hardware threads,
+  /// 1 = fully serial. Results do not depend on this value. Note: when a
+  /// campaign is driven through core::tvla_config_for, a nonzero
+  /// PolarisConfig::threads overrides this field.
+  std::size_t threads = 0;
   /// Per-sample additive measurement/electrical noise (std dev, fJ). Real
   /// trace acquisition never sees noise-free per-gate energies; without
   /// this floor every data-dependent gate saturates the t-test. Modelled
@@ -76,7 +87,8 @@ class LeakageReport {
 
   /// Groups with |t| above the threshold, sorted by descending |t|.
   [[nodiscard]] std::vector<netlist::GateId> leaky_groups() const;
-  [[nodiscard]] std::size_t leaky_count() const { return leaky_groups().size(); }
+  /// Number of such groups, counted in place (no allocation or sort).
+  [[nodiscard]] std::size_t leaky_count() const;
 
   /// Sum of |t| over measured groups ("total leakage").
   [[nodiscard]] double total_abs_t() const;

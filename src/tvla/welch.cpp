@@ -23,6 +23,28 @@ WelchResult welch_t(const MomentAccumulator& q0, const MomentAccumulator& q1) {
                  q1.mean(), q1.variance_sample(), static_cast<double>(q1.count()));
 }
 
+WelchResult welch_t(const MomentAccumulator& q0, const MomentAccumulator& q1,
+                    double noise_var) {
+  return welch_t(q0.mean(), q0.variance_sample() + noise_var,
+                 static_cast<double>(q0.count()), q1.mean(),
+                 q1.variance_sample() + noise_var,
+                 static_cast<double>(q1.count()));
+}
+
+WelchResult welch_t_binary_energy(std::uint64_t n0, std::uint64_t ones0,
+                                  std::uint64_t n1, std::uint64_t ones1,
+                                  double energy, double noise_var) {
+  if (n0 < 2 || n1 < 2) return {};
+  const double dn0 = static_cast<double>(n0);
+  const double dn1 = static_cast<double>(n1);
+  const double p0 = static_cast<double>(ones0) / dn0;
+  const double p1 = static_cast<double>(ones1) / dn1;
+  const double v0 = dn0 * p0 * (1.0 - p0) / (dn0 - 1.0);
+  const double v1 = dn1 * p1 * (1.0 - p1) / (dn1 - 1.0);
+  return welch_t(energy * p0, energy * energy * v0 + noise_var, dn0,
+                 energy * p1, energy * energy * v1 + noise_var, dn1);
+}
+
 WelchResult welch_t_binary(std::uint64_t n0, std::uint64_t ones0,
                            std::uint64_t n1, std::uint64_t ones1) {
   if (n0 < 2 || n1 < 2) return {};

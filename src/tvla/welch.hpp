@@ -30,6 +30,23 @@ struct WelchResult {
 [[nodiscard]] WelchResult welch_t(const MomentAccumulator& q0,
                                   const MomentAccumulator& q1);
 
+/// Same, with an additive per-sample noise floor: means unchanged, both
+/// class variances gain `noise_var` (TvlaConfig::noise_std_fj squared).
+[[nodiscard]] WelchResult welch_t(const MomentAccumulator& q0,
+                                  const MomentAccumulator& q1,
+                                  double noise_var);
+
+/// Binary samples on a physical scale: x in {0, energy} per class, plus the
+/// additive noise floor. Class means are energy*p and sample variances
+/// energy^2 * n*p*(1-p)/(n-1) + noise_var. This is the single-member-group
+/// fast path of the campaign (counts come from 64-lane popcounts).
+[[nodiscard]] WelchResult welch_t_binary_energy(std::uint64_t n0,
+                                                std::uint64_t ones0,
+                                                std::uint64_t n1,
+                                                std::uint64_t ones1,
+                                                double energy,
+                                                double noise_var);
+
 /// Specialization for binary-valued samples x in {0, E}: only counts are
 /// needed, so per-gate TVLA can run on popcounts of 64-lane toggle words.
 /// The scale E cancels out of the statistic.
