@@ -13,8 +13,9 @@ int main() {
   std::printf("=== Ablation: rules vs model inference (traces=%zu) ===\n\n",
               setup.traces);
 
-  core::Polaris polaris(setup.polaris_config());
-  (void)polaris.train(circuits::training_suite(), setup.lib);
+  const auto trained = bench::trained_polaris(
+      setup.polaris_config(), circuits::training_suite(), setup.lib);
+  const auto& polaris = trained.polaris;
   std::printf("extracted %zu rules\n\n", polaris.rules().rules().size());
 
   util::Table table({"Design", "model%", "rules%", "model+rules%"});

@@ -8,14 +8,26 @@
 //                          engine: 0 = all hardware threads, 1 = serial
 //                          (default 0). Results are independent of this
 //                          knob; only wall-clock changes.
+//   POLARIS_BENCH_BUNDLE   path to a .plb model bundle. When set and the
+//                          file exists, benches that only need a trained
+//                          model load it instead of re-running Algorithm 1,
+//                          so perf runs measure the masking path, not
+//                          training; when set but missing, the first run
+//                          trains once and saves the bundle there. The
+//                          caller must keep the config consistent across
+//                          runs (the loaded bundle's config wins).
 #pragma once
 
+#include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <span>
 #include <string>
 
 #include "circuits/suite.hpp"
 #include "core/polaris.hpp"
 #include "techlib/techlib.hpp"
+#include "util/math.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -72,7 +84,43 @@ struct BenchSetup {
 
 /// Percentage reduction helper (guards the zero-baseline case).
 inline double reduction_percent(double before, double after) {
-  return before <= 0.0 ? 0.0 : 100.0 * (before - after) / before;
+  return util::reduction_percent(before, after);
+}
+
+struct TrainedPolaris {
+  core::Polaris polaris;
+  bool from_bundle = false;  // loaded via POLARIS_BENCH_BUNDLE?
+  double seconds = 0.0;      // wall-clock of the load or the training
+};
+
+/// A trained Polaris honoring POLARIS_BENCH_BUNDLE (see the header comment):
+/// load when the bundle exists, otherwise train - and, when the variable
+/// names a missing file, save the fresh model there to warm the cache.
+inline TrainedPolaris trained_polaris(
+    const core::PolarisConfig& config,
+    std::span<const circuits::Design> training,
+    const techlib::TechLibrary& lib) {
+  const char* bundle = std::getenv("POLARIS_BENCH_BUNDLE");
+  util::Timer timer;
+  if (bundle != nullptr && *bundle != '\0' &&
+      std::filesystem::exists(bundle)) {
+    TrainedPolaris result{core::Polaris::load_bundle(bundle), true, 0.0};
+    result.seconds = timer.seconds();
+    std::printf("loaded trained bundle %s in %.2fs (POLARIS_BENCH_BUNDLE; "
+                "Algorithm 1 skipped)\n\n",
+                bundle, result.seconds);
+    return result;
+  }
+  TrainedPolaris result{core::Polaris(config), false, 0.0};
+  (void)result.polaris.train(training, lib);
+  result.seconds = timer.seconds();
+  if (bundle != nullptr && *bundle != '\0') {
+    result.polaris.save_bundle(bundle);
+    std::printf("saved trained bundle to %s (POLARIS_BENCH_BUNDLE; later "
+                "runs skip Algorithm 1)\n",
+                bundle);
+  }
+  return result;
 }
 
 }  // namespace polaris::bench

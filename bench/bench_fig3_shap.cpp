@@ -16,8 +16,9 @@ int main() {
   const auto setup = bench::BenchSetup::from_env();
   std::printf("=== Fig. 3: SHAP waterfall plots (AdaBoost) ===\n\n");
 
-  core::Polaris polaris(setup.polaris_config());
-  (void)polaris.train(circuits::training_suite(), setup.lib);
+  const auto trained = bench::trained_polaris(
+      setup.polaris_config(), circuits::training_suite(), setup.lib);
+  const auto& polaris = trained.polaris;
 
   const auto names =
       graph::FeatureSpec{polaris.config().locality}.feature_names();

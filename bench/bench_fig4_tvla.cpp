@@ -17,8 +17,9 @@ int main() {
   const auto setup = bench::BenchSetup::from_env();
   std::printf("=== Fig. 4: per-gate TVLA before/after POLARIS masking (des3) ===\n\n");
 
-  core::Polaris polaris(setup.polaris_config());
-  (void)polaris.train(circuits::training_suite(), setup.lib);
+  const auto trained = bench::trained_polaris(
+      setup.polaris_config(), circuits::training_suite(), setup.lib);
+  const auto& polaris = trained.polaris;
 
   auto design = circuits::get_design("des3", setup.scale);
   const auto tvla_config = core::tvla_config_for(polaris.config(), design);

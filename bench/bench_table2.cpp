@@ -19,16 +19,19 @@ int main() {
   std::printf("=== Table II: VALIANT vs POLARIS (traces=%zu, scale=%.2f) ===\n\n",
               setup.traces, setup.scale);
 
-  // Stage 1+2: train once on the small training designs (Sec. V-A).
-  core::Polaris polaris(setup.polaris_config());
+  // Stage 1+2: train once on the small training designs (Sec. V-A), or
+  // serve a previously trained model (POLARIS_BENCH_BUNDLE).
   const auto training = circuits::training_suite();
-  util::Timer train_timer;
-  const auto summary = polaris.train(training, setup.lib);
-  std::printf("training: %zu samples (%zu positive) from %zu designs in %.1fs "
-              "(Algorithm 1: %.1fs, model fit: %.1fs)\n\n",
-              summary.samples, summary.positives, training.size(),
-              train_timer.seconds(), summary.dataset_seconds,
-              summary.training_seconds);
+  const auto trained =
+      bench::trained_polaris(setup.polaris_config(), training, setup.lib);
+  const auto& polaris = trained.polaris;
+  if (!trained.from_bundle) {
+    std::printf("training: %zu samples (%zu positive) from %zu designs in "
+                "%.1fs\n\n",
+                polaris.training_data().size(),
+                polaris.training_data().positives(), training.size(),
+                trained.seconds);
+  }
 
   util::Table table({"Benchmark", "Gates", "Leaky", "Before", "VALIANT",
                      "POL50%", "POL75%", "POL100%", "Red%V", "Red%50",

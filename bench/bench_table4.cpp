@@ -17,9 +17,9 @@ int main() {
   std::printf("=== Table IV: area/power/delay overheads (traces=%zu, scale=%.2f) ===\n\n",
               setup.traces, setup.scale);
 
-  core::Polaris polaris(setup.polaris_config());
-  const auto training = circuits::training_suite();
-  (void)polaris.train(training, setup.lib);
+  const auto trained = bench::trained_polaris(
+      setup.polaris_config(), circuits::training_suite(), setup.lib);
+  const auto& polaris = trained.polaris;
 
   util::Table table({"Designs", "Area(um2)", "Power(mW)", "Delay(ns)",
                      "V:Area", "V:Pow", "V:Del", "P:Area", "P:Pow", "P:Del",

@@ -14,9 +14,9 @@ int main() {
   std::printf("=== Table V: SHAP-extracted masking rules (traces=%zu) ===\n\n",
               setup.traces);
 
-  core::Polaris polaris(setup.polaris_config());
-  const auto training = circuits::training_suite();
-  (void)polaris.train(training, setup.lib);
+  const auto trained = bench::trained_polaris(
+      setup.polaris_config(), circuits::training_suite(), setup.lib);
+  const auto& polaris = trained.polaris;
 
   const auto names =
       graph::FeatureSpec{polaris.config().locality}.feature_names();

@@ -8,6 +8,7 @@
 #include "circuits/suite.hpp"
 #include "core/polaris.hpp"
 #include "techlib/techlib.hpp"
+#include "util/math.hpp"
 
 using namespace polaris;
 
@@ -49,16 +50,28 @@ int main() {
                                            /*verify=*/true);
   std::printf("masked %zu gates in %.2fs (model inference only - no TVLA)\n",
               outcome.selected.size(), outcome.seconds);
+  // Guard the percentage against a clean baseline (nothing leaked before).
+  const double reduction = util::reduction_percent(
+      before.total_abs_t(), outcome.verification->total_abs_t());
   std::printf("after:  %zu leaky gates, leakage/gate %.3f (%.1f%% total "
               "leakage reduction)\n",
               outcome.verification->leaky_count(),
-              outcome.verification->leakage_per_gate(),
-              100.0 * (before.total_abs_t() - outcome.verification->total_abs_t()) /
-                  before.total_abs_t());
+              outcome.verification->leakage_per_gate(), reduction);
 
   // 4. The explainable part: the mined masking rules.
   std::printf("\n%zu human-readable rules extracted via SHAP "
               "(run bench_table5_rules for the full list)\n",
               polaris.rules().rules().size());
+
+  // 5. Train once, serve many: bundle the trained model and reload it - a
+  // fresh process (or another host) masks designs with zero retraining and
+  // bit-identical gate selections. The polaris_cli tool serves the same
+  // bundles from the command line.
+  polaris.save_bundle("quickstart.plb");
+  const auto served = core::Polaris::load_bundle("quickstart.plb");
+  const auto again = served.mask_design(target, lib, outcome.selected.size());
+  std::printf("\nbundle round-trip: saved quickstart.plb, reloaded, and "
+              "re-masked -> %s gate selections\n",
+              again.selected == outcome.selected ? "identical" : "DIFFERENT");
   return 0;
 }

@@ -12,6 +12,7 @@
 #include "circuits/suite.hpp"
 #include "masking/masking.hpp"
 #include "ml/model.hpp"
+#include "serialize/archive.hpp"
 #include "tvla/tvla.hpp"
 
 namespace polaris::core {
@@ -19,10 +20,15 @@ namespace polaris::core {
 enum class ModelKind {
   kRandomForest,
   kXgboost,
-  kAdaBoost,  // the paper's pick (Table III)
+  kAdaBoost,      // the paper's pick (Table III)
+  kDecisionTree,  // single-CART baseline (cheapest model to serve)
 };
 
 [[nodiscard]] std::string to_string(ModelKind kind);
+/// Parses user-facing model names ("adaboost", "forest"/"rf", "xgboost",
+/// "tree"/"dt"; case-insensitive). Throws std::invalid_argument listing the
+/// accepted spellings on anything else.
+[[nodiscard]] ModelKind model_kind_from_string(const std::string& name);
 
 struct PolarisConfig {
   // --- Algorithm 1 (Cognition Generation) ---------------------------------
@@ -70,6 +76,21 @@ struct PolarisConfig {
   /// of it.
   std::size_t threads = 0;
 };
+
+/// Validates every knob once, up front (reused by Polaris's constructor and
+/// the CLI's flag parsing). Throws std::invalid_argument with an actionable
+/// message naming each out-of-range knob and its accepted range.
+void validate(const PolarisConfig& config);
+
+/// Archive bindings (the CONF chunk of a .plb bundle). Round-trips every
+/// knob bit-exactly, so a loaded bundle reproduces score_gates verbatim.
+void write_config(serialize::Writer& out, const PolarisConfig& config);
+[[nodiscard]] PolarisConfig read_config(serialize::Reader& in);
+
+/// FNV-1a hash over the canonical serialization with the host-local
+/// `threads` knobs zeroed - identical fingerprints guarantee identical
+/// results, regardless of where or how parallel the run was.
+[[nodiscard]] std::uint64_t config_fingerprint(const PolarisConfig& config);
 
 /// Instantiates the configured classifier.
 [[nodiscard]] std::unique_ptr<ml::Classifier> make_model(const PolarisConfig& config);

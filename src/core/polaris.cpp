@@ -8,14 +8,185 @@
 #include "graph/features.hpp"
 #include "masking/masking.hpp"
 #include "ml/smote.hpp"
+#include "serialize/model_io.hpp"
 #include "util/timer.hpp"
 
 namespace polaris::core {
 
 using netlist::GateId;
 
+namespace {
+// Bundle chunk tags (.plb layout; see DESIGN.md "Bundle persistence").
+constexpr std::string_view kHeadTag = "HEAD";
+constexpr std::string_view kConfTag = "CONF";
+constexpr std::string_view kModelTag = "MODL";
+constexpr std::string_view kRulesTag = "RULE";
+constexpr std::string_view kDataTag = "DATA";
+constexpr std::uint32_t kBundleVersion = 1;
+
+/// Parses the HEAD chunk (caller has entered it). The version gate runs
+/// before any later field is touched, so a future layout change cannot be
+/// misread - both load_bundle and read_bundle_info share this parse and
+/// therefore accept exactly the same files.
+BundleInfo parse_bundle_head(serialize::Reader& in) {
+  BundleInfo info;
+  info.format_version = in.version();
+  info.bundle_version = in.u32();
+  if (info.bundle_version > kBundleVersion) {
+    throw std::runtime_error(
+        "polaris bundle: layout version " +
+        std::to_string(info.bundle_version) +
+        " is newer than this build supports (" +
+        std::to_string(kBundleVersion) + "); upgrade polaris");
+  }
+  const std::string tool = in.str();
+  if (tool != "polaris-bundle") {
+    throw std::runtime_error("polaris bundle: unexpected producer '" + tool +
+                             "'");
+  }
+  info.config_fingerprint = in.u64();
+  info.model_name = in.str();
+  info.samples = in.u64();
+  info.positives = in.u64();
+  info.feature_dim = in.u64();
+  info.rule_count = in.u64();
+  info.has_dataset = in.boolean();
+  return info;
+}
+
+ml::ClassifierKind expected_classifier_kind(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kRandomForest: return ml::ClassifierKind::kRandomForest;
+    case ModelKind::kXgboost: return ml::ClassifierKind::kGbdt;
+    case ModelKind::kAdaBoost: return ml::ClassifierKind::kAdaBoost;
+    case ModelKind::kDecisionTree: return ml::ClassifierKind::kDecisionTree;
+  }
+  throw std::runtime_error("polaris bundle: unmapped model kind");
+}
+
+/// The "never UB" backstop for feature indices: CRC catches accidents, but
+/// a deliberately crafted bundle re-seals its checksum, so every index a
+/// prediction will later use to subscript a feature vector is range-checked
+/// here, once, at load time.
+void check_feature_indices(const Polaris& loaded, std::size_t dim) {
+  for (const auto& wt : loaded.model().ensemble().trees) {
+    for (const auto& node : wt.tree.nodes) {
+      if (!node.is_leaf() && static_cast<std::size_t>(node.feature) >= dim) {
+        throw std::runtime_error(
+            "polaris bundle: tree feature index " +
+            std::to_string(node.feature) + " out of range (dim " +
+            std::to_string(dim) + ")");
+      }
+    }
+  }
+  for (const auto& rule : loaded.rules().rules()) {
+    for (const auto& lit : rule.literals) {
+      if (lit.feature >= dim) {
+        throw std::runtime_error(
+            "polaris bundle: rule feature index " +
+            std::to_string(lit.feature) + " out of range (dim " +
+            std::to_string(dim) + ")");
+      }
+    }
+  }
+  if (!loaded.training_data().empty() &&
+      loaded.training_data().feature_count() != dim) {
+    throw std::runtime_error(
+        "polaris bundle: dataset width " +
+        std::to_string(loaded.training_data().feature_count()) +
+        " disagrees with the config's feature dim " + std::to_string(dim));
+  }
+}
+
+}  // namespace
+
 Polaris::Polaris(PolarisConfig config) : config_(std::move(config)) {
+  validate(config_);
   model_ = make_model(config_);
+}
+
+void Polaris::save_bundle(const std::string& path,
+                          bool include_training_data) const {
+  if (!trained_) {
+    throw std::logic_error("Polaris::save_bundle: model not trained");
+  }
+  serialize::Writer out;
+
+  out.begin_chunk(kHeadTag);
+  out.u32(kBundleVersion);
+  out.str("polaris-bundle");
+  out.u64(config_fingerprint(config_));
+  out.str(model_->name());
+  out.u64(data_.size());
+  out.u64(data_.positives());
+  out.u64(data_.feature_count());
+  out.u64(rules_.rules().size());
+  out.boolean(include_training_data);
+  out.end_chunk();
+
+  out.begin_chunk(kConfTag);
+  write_config(out, config_);
+  out.end_chunk();
+
+  out.begin_chunk(kModelTag);
+  ml::save_classifier(out, *model_);
+  out.end_chunk();
+
+  out.begin_chunk(kRulesTag);
+  serialize::write_ruleset(out, rules_);
+  out.end_chunk();
+
+  if (include_training_data) {
+    out.begin_chunk(kDataTag);
+    serialize::write_dataset(out, data_);
+    out.end_chunk();
+  }
+
+  serialize::write_file(path, out.finish());
+}
+
+Polaris Polaris::load_bundle(const std::string& path, BundleInfo* info) {
+  serialize::Reader in(serialize::read_file(path));
+
+  in.enter_chunk(kHeadTag);
+  const BundleInfo head = parse_bundle_head(in);
+  if (info != nullptr) *info = head;
+  in.exit_chunk();
+
+  in.enter_chunk(kConfTag);
+  Polaris loaded{read_config(in)};
+  in.exit_chunk();
+
+  in.enter_chunk(kModelTag);
+  loaded.model_ = ml::load_classifier(in);
+  in.exit_chunk();
+  if (loaded.model_->kind() != expected_classifier_kind(loaded.config_.model)) {
+    throw std::runtime_error(
+        "polaris bundle: model chunk holds a " + loaded.model_->name() +
+        " but the config says " + to_string(loaded.config_.model));
+  }
+
+  in.enter_chunk(kRulesTag);
+  loaded.rules_ = serialize::read_ruleset(in);
+  in.exit_chunk();
+
+  if (in.try_enter_chunk(kDataTag)) {
+    loaded.data_ = serialize::read_dataset(in);
+    in.exit_chunk();
+  }
+
+  check_feature_indices(loaded,
+                        graph::FeatureSpec{loaded.config_.locality}.dim());
+  loaded.trained_ = true;
+  return loaded;
+}
+
+BundleInfo read_bundle_info(const std::string& path) {
+  serialize::Reader in(serialize::read_file(path));
+  in.enter_chunk(kHeadTag);
+  const BundleInfo info = parse_bundle_head(in);
+  in.exit_chunk();
+  return info;
 }
 
 TrainingSummary Polaris::train(

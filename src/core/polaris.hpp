@@ -30,6 +30,20 @@ struct TrainingSummary {
   double rules_seconds = 0.0;     // SHAP + rule mining
 };
 
+/// Cheap bundle metadata (the HEAD chunk) - what `polaris_cli inspect`
+/// prints without deserializing the model itself.
+struct BundleInfo {
+  std::uint32_t format_version = 0;  // archive container version
+  std::uint32_t bundle_version = 0;  // bundle layout version
+  std::uint64_t config_fingerprint = 0;
+  std::string model_name;
+  std::size_t samples = 0;    // training samples the model was fitted on
+  std::size_t positives = 0;  // of which labelled "good mask"
+  std::size_t feature_dim = 0;
+  std::size_t rule_count = 0;
+  bool has_dataset = false;  // training data embedded?
+};
+
 struct MaskingOutcome {
   netlist::Netlist masked;
   std::vector<netlist::GateId> selected;  // gates replaced, ranked order
@@ -42,7 +56,22 @@ struct MaskingOutcome {
 
 class Polaris {
  public:
+  /// Validates every knob up front (core::validate); throws
+  /// std::invalid_argument with an actionable message on bad configs.
   explicit Polaris(PolarisConfig config = {});
+
+  /// Serializes the trained state (config, model, rules, and - unless
+  /// `include_training_data` is false - the labelled dataset) into a `.plb`
+  /// bundle. Train once, serve many: a loaded bundle reproduces
+  /// score_gates and mask_design selections bit-identically in any
+  /// process on any host. Throws std::logic_error when untrained.
+  void save_bundle(const std::string& path,
+                   bool include_training_data = true) const;
+  /// Reconstructs a trained Polaris from a bundle. Truncated, corrupt, or
+  /// future-version files raise std::runtime_error. When `info` is given it
+  /// receives the HEAD metadata, saving a second read of the file.
+  [[nodiscard]] static Polaris load_bundle(const std::string& path,
+                                           BundleInfo* info = nullptr);
 
   /// Stages i+ii: Algorithm 1 over every training design, imbalance
   /// handling (SMOTE / class weights), model fit, rule extraction.
@@ -74,5 +103,9 @@ class Polaris {
   ml::Dataset data_;
   bool trained_ = false;
 };
+
+/// Reads only the HEAD metadata chunk of a bundle (still validates the
+/// archive container: magic, version, CRC).
+[[nodiscard]] BundleInfo read_bundle_info(const std::string& path);
 
 }  // namespace polaris::core

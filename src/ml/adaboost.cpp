@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "serialize/model_io.hpp"
+
 namespace polaris::ml {
 
 void AdaBoost::fit(const Dataset& data) {
@@ -71,6 +73,29 @@ double AdaBoost::predict_margin(std::span<const double> x) const {
 
 double AdaBoost::predict_proba(std::span<const double> x) const {
   return ensemble_.probability(x);
+}
+
+void AdaBoost::save(serialize::Writer& out) const {
+  out.u32(1);  // class payload version
+  out.u64(config_.rounds);
+  out.u64(config_.max_depth);
+  out.f64(config_.learning_rate);
+  out.u64(config_.min_samples_leaf);
+  out.u64(config_.seed);
+  serialize::write_ensemble(out, ensemble_);
+}
+
+AdaBoost AdaBoost::load(serialize::Reader& in) {
+  (void)in.u32();  // class payload version (appends-only policy)
+  AdaBoostConfig config;
+  config.rounds = in.u64();
+  config.max_depth = in.u64();
+  config.learning_rate = in.f64();
+  config.min_samples_leaf = in.u64();
+  config.seed = in.u64();
+  AdaBoost model(config);
+  model.ensemble_ = serialize::read_ensemble(in);
+  return model;
 }
 
 }  // namespace polaris::ml

@@ -27,6 +27,12 @@ class AdaBoost final : public Classifier {
   [[nodiscard]] const TreeEnsemble& ensemble() const override { return ensemble_; }
   [[nodiscard]] std::string name() const override { return "AdaBoost"; }
 
+  [[nodiscard]] ClassifierKind kind() const override {
+    return ClassifierKind::kAdaBoost;
+  }
+  void save(serialize::Writer& out) const override;
+  [[nodiscard]] static AdaBoost load(serialize::Reader& in);
+
  private:
   AdaBoostConfig config_;
   TreeEnsemble ensemble_;

@@ -1,4 +1,6 @@
-// Random Forest (bagging + per-split feature subsampling).
+// Single CART decision tree - the interpretable baseline classifier (the
+// paper's Table III compares ensemble models; a lone tree is the floor the
+// ensembles must beat, and the cheapest model to serve from a bundle).
 #pragma once
 
 #include <cstdint>
@@ -7,33 +9,30 @@
 
 namespace polaris::ml {
 
-struct ForestConfig {
-  std::size_t trees = 60;
+struct DecisionTreeConfig {
   std::size_t max_depth = 8;
   std::size_t min_samples_leaf = 2;
-  /// 0 = sqrt(feature count), the usual default.
-  std::size_t features_per_split = 0;
   std::uint64_t seed = 1;
 };
 
-class RandomForest final : public Classifier {
+class DecisionTree final : public Classifier {
  public:
-  explicit RandomForest(ForestConfig config = {}) : config_(config) {}
+  explicit DecisionTree(DecisionTreeConfig config = {}) : config_(config) {}
 
   void fit(const Dataset& data) override;
   [[nodiscard]] double predict_margin(std::span<const double> x) const override;
   [[nodiscard]] double predict_proba(std::span<const double> x) const override;
   [[nodiscard]] const TreeEnsemble& ensemble() const override { return ensemble_; }
-  [[nodiscard]] std::string name() const override { return "RandomForest"; }
+  [[nodiscard]] std::string name() const override { return "DecisionTree"; }
 
   [[nodiscard]] ClassifierKind kind() const override {
-    return ClassifierKind::kRandomForest;
+    return ClassifierKind::kDecisionTree;
   }
   void save(serialize::Writer& out) const override;
-  [[nodiscard]] static RandomForest load(serialize::Reader& in);
+  [[nodiscard]] static DecisionTree load(serialize::Reader& in);
 
  private:
-  ForestConfig config_;
+  DecisionTreeConfig config_;
   TreeEnsemble ensemble_;
 };
 

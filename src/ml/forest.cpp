@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "serialize/model_io.hpp"
+
 namespace polaris::ml {
 
 void RandomForest::fit(const Dataset& data) {
@@ -35,6 +37,29 @@ double RandomForest::predict_margin(std::span<const double> x) const {
 
 double RandomForest::predict_proba(std::span<const double> x) const {
   return ensemble_.probability(x);
+}
+
+void RandomForest::save(serialize::Writer& out) const {
+  out.u32(1);  // class payload version
+  out.u64(config_.trees);
+  out.u64(config_.max_depth);
+  out.u64(config_.min_samples_leaf);
+  out.u64(config_.features_per_split);
+  out.u64(config_.seed);
+  serialize::write_ensemble(out, ensemble_);
+}
+
+RandomForest RandomForest::load(serialize::Reader& in) {
+  (void)in.u32();  // class payload version (appends-only policy)
+  ForestConfig config;
+  config.trees = in.u64();
+  config.max_depth = in.u64();
+  config.min_samples_leaf = in.u64();
+  config.features_per_split = in.u64();
+  config.seed = in.u64();
+  RandomForest model(config);
+  model.ensemble_ = serialize::read_ensemble(in);
+  return model;
 }
 
 }  // namespace polaris::ml

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "serialize/model_io.hpp"
+
 namespace polaris::ml {
 
 void Gbdt::fit(const Dataset& data) {
@@ -50,6 +52,33 @@ double Gbdt::predict_margin(std::span<const double> x) const {
 
 double Gbdt::predict_proba(std::span<const double> x) const {
   return ensemble_.probability(x);
+}
+
+void Gbdt::save(serialize::Writer& out) const {
+  out.u32(1);  // class payload version
+  out.u64(config_.rounds);
+  out.u64(config_.max_depth);
+  out.f64(config_.learning_rate);
+  out.f64(config_.lambda);
+  out.f64(config_.gamma);
+  out.u64(config_.min_samples_leaf);
+  out.u64(config_.seed);
+  serialize::write_ensemble(out, ensemble_);
+}
+
+Gbdt Gbdt::load(serialize::Reader& in) {
+  (void)in.u32();  // class payload version (appends-only policy)
+  GbdtConfig config;
+  config.rounds = in.u64();
+  config.max_depth = in.u64();
+  config.learning_rate = in.f64();
+  config.lambda = in.f64();
+  config.gamma = in.f64();
+  config.min_samples_leaf = in.u64();
+  config.seed = in.u64();
+  Gbdt model(config);
+  model.ensemble_ = serialize::read_ensemble(in);
+  return model;
 }
 
 }  // namespace polaris::ml

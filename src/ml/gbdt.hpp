@@ -32,6 +32,12 @@ class Gbdt final : public Classifier {
   [[nodiscard]] const TreeEnsemble& ensemble() const override { return ensemble_; }
   [[nodiscard]] std::string name() const override { return "XGBoost"; }
 
+  [[nodiscard]] ClassifierKind kind() const override {
+    return ClassifierKind::kGbdt;
+  }
+  void save(serialize::Writer& out) const override;
+  [[nodiscard]] static Gbdt load(serialize::Reader& in);
+
  private:
   GbdtConfig config_;
   TreeEnsemble ensemble_;

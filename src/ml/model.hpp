@@ -1,8 +1,11 @@
-// Uniform classifier interface for the three POLARIS model options
-// (Table III). All models expose their fitted TreeEnsemble so the XAI layer
-// can run exact TreeSHAP regardless of which model was selected.
+// Uniform classifier interface for the POLARIS model options (Table III,
+// plus a single-CART baseline). All models expose their fitted TreeEnsemble
+// so the XAI layer can run exact TreeSHAP regardless of which model was
+// selected, and all serialize through serialize::Writer/Reader so a trained
+// model can be bundled once and served from disk.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
@@ -10,13 +13,32 @@
 #include "ml/dataset.hpp"
 #include "ml/tree.hpp"
 
+namespace polaris::serialize {
+class Writer;
+class Reader;
+}  // namespace polaris::serialize
+
 namespace polaris::ml {
+
+/// Stable on-disk discriminant for the classifier factory. Values are part
+/// of the bundle format - never renumber, only append.
+enum class ClassifierKind : std::uint32_t {
+  kDecisionTree = 1,
+  kRandomForest = 2,
+  kGbdt = 3,
+  kAdaBoost = 4,
+};
 
 class Classifier {
  public:
   virtual ~Classifier() = default;
 
   virtual void fit(const Dataset& data) = 0;
+
+  /// On-disk kind tag consumed by load_classifier.
+  [[nodiscard]] virtual ClassifierKind kind() const = 0;
+  /// Serializes config + fitted state into the current archive chunk.
+  virtual void save(serialize::Writer& out) const = 0;
 
   /// Raw additive score (margin space; what SHAP values decompose).
   [[nodiscard]] virtual double predict_margin(std::span<const double> x) const = 0;
@@ -30,5 +52,11 @@ class Classifier {
   [[nodiscard]] virtual const TreeEnsemble& ensemble() const = 0;
   [[nodiscard]] virtual std::string name() const = 0;
 };
+
+/// Writes the kind tag followed by the classifier's own payload.
+void save_classifier(serialize::Writer& out, const Classifier& model);
+/// Factory: reads the kind tag and reconstructs the matching classifier.
+/// Throws std::runtime_error on an unknown kind.
+[[nodiscard]] std::unique_ptr<Classifier> load_classifier(serialize::Reader& in);
 
 }  // namespace polaris::ml

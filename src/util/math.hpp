@@ -1,0 +1,12 @@
+// Small numeric helpers shared by the benches, examples, and the CLI.
+#pragma once
+
+namespace polaris::util {
+
+/// Percentage reduction from `before` to `after`, guarding the zero (or
+/// negative) baseline: when nothing leaked before, nothing was reduced.
+[[nodiscard]] inline double reduction_percent(double before, double after) {
+  return before <= 0.0 ? 0.0 : 100.0 * (before - after) / before;
+}
+
+}  // namespace polaris::util

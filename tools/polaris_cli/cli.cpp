@@ -1,0 +1,197 @@
+#include "cli.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+#include "netlist/verilog.hpp"
+
+namespace polaris::cli {
+
+ParsedFlags::ParsedFlags(std::span<const char* const> args,
+                         std::span<const FlagSpec> specs) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string arg = args[i];
+    if (arg.size() < 3 || arg[0] != '-' || arg[1] != '-') {
+      throw UsageError("unexpected argument '" + arg +
+                       "' (flags look like --name)");
+    }
+    const std::string name = arg.substr(2);
+    const auto spec = std::find_if(specs.begin(), specs.end(),
+                                   [&](const FlagSpec& s) { return s.name == name; });
+    if (spec == specs.end()) throw UsageError("unknown flag '--" + name + "'");
+    if (!spec->takes_value) {
+      values_[name] = "1";
+      continue;
+    }
+    if (i + 1 >= args.size()) {
+      throw UsageError("flag '--" + name + "' needs a value");
+    }
+    values_[name] = args[++i];
+  }
+}
+
+bool ParsedFlags::has(const std::string& name) const {
+  return values_.count(name) != 0;
+}
+
+std::string ParsedFlags::get(const std::string& name,
+                             const std::string& fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::uint64_t ParsedFlags::get_u64(const std::string& name,
+                                   std::uint64_t fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  try {
+    // std::stoull accepts "-5" (wrapping to 2^64-5); reject signs up front.
+    if (it->second.empty() || !std::isdigit(static_cast<unsigned char>(
+                                  it->second.front()))) {
+      throw std::invalid_argument(it->second);
+    }
+    std::size_t used = 0;
+    const std::uint64_t value = std::stoull(it->second, &used);
+    if (used != it->second.size()) throw std::invalid_argument(it->second);
+    return value;
+  } catch (const std::exception&) {
+    throw UsageError("flag '--" + name + "' expects a non-negative integer, "
+                     "got '" + it->second + "'");
+  }
+}
+
+std::size_t ParsedFlags::get_size(const std::string& name,
+                                  std::size_t fallback) const {
+  return static_cast<std::size_t>(get_u64(name, fallback));
+}
+
+double ParsedFlags::get_double(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(it->second, &used);
+    if (used != it->second.size()) throw std::invalid_argument(it->second);
+    return value;
+  } catch (const std::exception&) {
+    throw UsageError("flag '--" + name + "' expects a number, got '" +
+                     it->second + "'");
+  }
+}
+
+std::string ParsedFlags::require(const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) throw UsageError("flag '--" + name + "' is required");
+  return it->second;
+}
+
+std::string render_flag_help(std::span<const FlagSpec> specs) {
+  std::size_t width = 0;
+  for (const auto& spec : specs) {
+    width = std::max(width, spec.name.size() + (spec.takes_value ? 6 : 0));
+  }
+  std::ostringstream out;
+  for (const auto& spec : specs) {
+    const std::string left =
+        "--" + spec.name + (spec.takes_value ? " <arg>" : "");
+    out << "  " << left << std::string(width + 4 - left.size() + 2, ' ')
+        << spec.help << "\n";
+  }
+  return out.str();
+}
+
+std::vector<FlagSpec> config_flag_specs() {
+  return {
+      {"traces", true, "TVLA traces per campaign, multiple of 64 (default 8192)"},
+      {"iterations", true, "Algorithm-1 iterations per training design (default 100)"},
+      {"mask-size", true, "Msize: gates masked per iteration / serve default (default 60)"},
+      {"theta-r", true, "good-mask leakage-reduction ratio in [0,1] (default 0.70)"},
+      {"locality", true, "L: BFS locality of the structural features (default 7)"},
+      {"model", true, "adaboost | forest | xgboost | tree (default adaboost)"},
+      {"rounds", true, "boosting rounds / forest size (default 300)"},
+      {"seed", true, "experiment seed (default 1)"},
+      {"threads", true, "worker threads, 0 = all cores (default 0)"},
+  };
+}
+
+core::PolarisConfig config_from_flags(const ParsedFlags& flags) {
+  core::PolarisConfig config;
+  // The bench/example demo scale: full paper parameters except Msize, which
+  // is sized to the small training circuits (see bench_common.hpp).
+  config.mask_size = 60;
+  config.tvla.traces = 8192;
+  config.tvla.noise_std_fj = 1.0;
+
+  config.tvla.traces = flags.get_size("traces", config.tvla.traces);
+  config.iterations = flags.get_size("iterations", config.iterations);
+  config.mask_size = flags.get_size("mask-size", config.mask_size);
+  config.theta_r = flags.get_double("theta-r", config.theta_r);
+  config.locality = flags.get_size("locality", config.locality);
+  config.model_rounds = flags.get_size("rounds", config.model_rounds);
+  config.seed = flags.get_u64("seed", config.seed);
+  config.threads = flags.get_size("threads", config.threads);
+  config.tvla.seed = config.seed;
+  if (flags.has("model")) {
+    try {
+      config.model = core::model_kind_from_string(flags.get("model"));
+    } catch (const std::invalid_argument& error) {
+      throw UsageError(error.what());
+    }
+  }
+  try {
+    core::validate(config);
+  } catch (const std::invalid_argument& error) {
+    throw UsageError(error.what());
+  }
+  return config;
+}
+
+circuits::Design load_design(const std::string& name_or_path, double scale) {
+  if (name_or_path.size() > 2 &&
+      name_or_path.compare(name_or_path.size() - 2, 2, ".v") == 0) {
+    circuits::Design design;
+    design.name = name_or_path;
+    design.netlist = netlist::read_verilog_file(name_or_path);
+    design.roles.assign(design.netlist.primary_inputs().size(),
+                        circuits::InputRole::kData);
+    return design;
+  }
+  return circuits::get_design(name_or_path, scale);
+}
+
+core::InferenceMode mode_from_string(const std::string& name) {
+  if (name == "model") return core::InferenceMode::kModel;
+  if (name == "rules") return core::InferenceMode::kRules;
+  if (name == "model+rules" || name == "combined") {
+    return core::InferenceMode::kModelPlusRules;
+  }
+  throw UsageError("unknown inference mode '" + name +
+                   "'; expected model, rules, or model+rules");
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace polaris::cli

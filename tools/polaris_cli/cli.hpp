@@ -1,0 +1,83 @@
+// Shared plumbing for the `polaris_cli` subcommands: a tiny declarative
+// flag parser, config construction (validated through core::validate, the
+// same gate Polaris's constructor applies), design loading by suite name or
+// Verilog path, and JSON helpers for machine-readable output.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "circuits/suite.hpp"
+#include "core/polaris.hpp"
+
+namespace polaris::cli {
+
+/// Bad invocation (unknown flag, missing value, unparsable number). main()
+/// turns this into usage text + exit code 2; runtime failures exit 1.
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+struct FlagSpec {
+  std::string name;  // without the leading "--"
+  bool takes_value = true;
+  std::string help;
+};
+
+class ParsedFlags {
+ public:
+  /// Parses `--name value` / `--name` argument lists against `specs`.
+  /// Throws UsageError on unknown flags, missing values, or positionals.
+  ParsedFlags(std::span<const char* const> args,
+              std::span<const FlagSpec> specs);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback = "") const;
+  [[nodiscard]] std::size_t get_size(const std::string& name,
+                                     std::size_t fallback) const;
+  [[nodiscard]] std::uint64_t get_u64(const std::string& name,
+                                      std::uint64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+  /// Required string flag; throws UsageError when absent.
+  [[nodiscard]] std::string require(const std::string& name) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+/// One usage line per flag, aligned, for the per-command help text.
+[[nodiscard]] std::string render_flag_help(std::span<const FlagSpec> specs);
+
+/// Flags shared by every subcommand that builds a PolarisConfig.
+[[nodiscard]] std::vector<FlagSpec> config_flag_specs();
+
+/// PolarisConfig from defaults + `config_flag_specs` overrides, passed
+/// through core::validate (UsageError on violation, so the CLI reports
+/// range problems as usage errors rather than crashes).
+[[nodiscard]] core::PolarisConfig config_from_flags(const ParsedFlags& flags);
+
+/// Loads a design: a suite name ("des3", "memctrl", ...) or a structural
+/// Verilog file (anything ending in ".v"; all inputs default to the
+/// sensitive role). `scale` shrinks parameterized suite designs.
+[[nodiscard]] circuits::Design load_design(const std::string& name_or_path,
+                                           double scale);
+
+/// Parses an InferenceMode name: model | rules | model+rules.
+[[nodiscard]] core::InferenceMode mode_from_string(const std::string& name);
+
+/// JSON string escaping (quotes, backslashes, control characters).
+[[nodiscard]] std::string json_escape(const std::string& text);
+
+// Subcommand entry points (argv past the subcommand name).
+int cmd_train(std::span<const char* const> args);
+int cmd_audit(std::span<const char* const> args);
+int cmd_mask(std::span<const char* const> args);
+int cmd_inspect(std::span<const char* const> args);
+
+}  // namespace polaris::cli

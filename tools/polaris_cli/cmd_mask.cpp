@@ -1,0 +1,93 @@
+// `polaris_cli mask`: the TVLA-free serving path (Algorithm 2). Loads a
+// trained bundle, scores and masks a design, and emits masked structural
+// Verilog for the downstream ASIC flow. `--verify` adds the optional
+// line-10 leakage estimate (before/after TVLA) - useful for sign-off, but
+// not needed for the masking decision itself.
+#include <cstdio>
+
+#include "cli.hpp"
+#include "netlist/verilog.hpp"
+#include "techlib/techlib.hpp"
+#include "tvla/tvla.hpp"
+#include "util/math.hpp"
+
+namespace polaris::cli {
+
+int cmd_mask(std::span<const char* const> args) {
+  const std::vector<FlagSpec> specs = {
+      {"bundle", true, "trained .plb bundle (required)"},
+      {"design", true, "suite name or Verilog file (required)"},
+      {"out", true, "masked Verilog output path (required)"},
+      {"scale", true, "suite design-size scale in (0,1] (default 1.0)"},
+      {"mask-size", true, "gates to mask (default: the bundle's Msize)"},
+      {"mode", true, "model | rules | model+rules (default model)"},
+      {"verify", false, "run before/after TVLA on top (slow; sign-off only)"},
+      {"json", false, "emit a JSON summary instead of text"},
+      {"help", false, "show this help"},
+  };
+  const ParsedFlags flags(args, specs);
+  if (flags.has("help")) {
+    std::printf("usage: polaris_cli mask --bundle <model.plb> --design "
+                "<name|file.v> --out <masked.v> [flags]\n\n%s",
+                render_flag_help(specs).c_str());
+    return 0;
+  }
+
+  const auto polaris = core::Polaris::load_bundle(flags.require("bundle"));
+  const auto design =
+      load_design(flags.require("design"), flags.get_double("scale", 1.0));
+  const std::string out_path = flags.require("out");
+  const auto mode = mode_from_string(flags.get("mode", "model"));
+  const std::size_t mask_size =
+      flags.get_size("mask-size", polaris.config().mask_size);
+  const bool verify = flags.has("verify");
+
+  const auto lib = techlib::TechLibrary::default_library();
+  std::optional<tvla::LeakageReport> before;
+  if (verify) {
+    before = tvla::run_fixed_vs_random(
+        design.netlist, lib, core::tvla_config_for(polaris.config(), design));
+  }
+
+  const auto outcome =
+      polaris.mask_design(design, lib, mask_size, mode, verify);
+  netlist::write_verilog_file(outcome.masked, out_path);
+
+  const double before_total = before ? before->total_abs_t() : 0.0;
+  const double after_total =
+      outcome.verification ? outcome.verification->total_abs_t() : 0.0;
+  const double reduction = util::reduction_percent(before_total, after_total);
+
+  if (flags.has("json")) {
+    std::printf("{\"design\":\"%s\",\"gates\":%zu,\"masked\":%zu,"
+                "\"masked_gates\":%zu,\"seconds\":%.4f,\"out\":\"%s\"",
+                json_escape(design.name).c_str(), design.netlist.gate_count(),
+                outcome.selected.size(), outcome.masked.gate_count(),
+                outcome.seconds, json_escape(out_path).c_str());
+    if (verify) {
+      std::printf(",\"before_total_abs_t\":%.6f,\"after_total_abs_t\":%.6f,"
+                  "\"reduction_percent\":%.2f,\"leaky_before\":%zu,"
+                  "\"leaky_after\":%zu",
+                  before_total, after_total, reduction, before->leaky_count(),
+                  outcome.verification->leaky_count());
+    }
+    std::printf("}\n");
+    return 0;
+  }
+
+  std::printf("masked %zu of %zu gates in %.2fs (inference only - no TVLA "
+              "in the loop)\n",
+              outcome.selected.size(), design.netlist.gate_count(),
+              outcome.seconds);
+  std::printf("wrote %s (%zu cells after composite insertion)\n",
+              out_path.c_str(), outcome.masked.gate_count());
+  if (verify) {
+    std::printf("verification: leaky %zu -> %zu, total |t| %.2f -> %.2f "
+                "(%.1f%% reduction)\n",
+                before->leaky_count(), outcome.verification->leaky_count(),
+                before_total, after_total, reduction);
+  }
+  return 0;
+}
+
+}  // namespace polaris::cli
