@@ -18,11 +18,13 @@
 //                          runs (the loaded bundle's config wins).
 #pragma once
 
+#include <concepts>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <span>
 #include <string>
+#include <string_view>
 
 #include "circuits/suite.hpp"
 #include "core/polaris.hpp"
@@ -86,6 +88,54 @@ struct BenchSetup {
 inline double reduction_percent(double before, double after) {
   return util::reduction_percent(before, after);
 }
+
+/// One machine-readable perf record: a single JSON object printed as one
+/// stdout line, greppable by future PRs ({"bench":...} first). Every bench
+/// that reports numbers uses this instead of hand-rolled printf lines, so
+/// the key quoting/ordering stays uniform across benches. Keys appear in
+/// insertion order; string values must not contain quotes or backslashes
+/// (bench/design names never do).
+class JsonLine {
+ public:
+  explicit JsonLine(std::string_view bench) { field("bench", bench); }
+
+  JsonLine& field(std::string_view key, std::string_view value) {
+    open(key);
+    body_ += '"';
+    body_ += value;
+    body_ += '"';
+    return *this;
+  }
+  template <std::integral T>
+  JsonLine& field(std::string_view key, T value) {
+    open(key);
+    body_ += std::to_string(value);
+    return *this;
+  }
+  JsonLine& field(std::string_view key, double value, int decimals = 4) {
+    open(key);
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, value);
+    body_ += buffer;
+    return *this;
+  }
+
+  /// Prints `{...}\n` to stdout. The line can be emitted once.
+  void print() {
+    std::printf("%s}\n", body_.c_str());
+    body_.clear();
+  }
+
+ private:
+  void open(std::string_view key) {
+    body_ += body_.empty() ? '{' : ',';
+    body_ += '"';
+    body_ += key;
+    body_ += "\":";
+  }
+
+  std::string body_;
+};
 
 struct TrainedPolaris {
   core::Polaris polaris;

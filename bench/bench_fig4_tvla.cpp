@@ -80,14 +80,16 @@ int main() {
 
   // Machine-readable perf record (one JSON line, greppable by future PRs):
   // wall-clock of the un-masked des3 campaign above.
-  const std::size_t threads =
-      engine::ThreadPool::resolve_threads(tvla_config.threads);
-  std::printf(
-      "{\"bench\":\"fig4_tvla\",\"design\":\"des3\",\"traces\":%zu,"
-      "\"threads\":%zu,\"campaign_seconds\":%.4f,\"traces_per_sec\":%.1f}\n",
-      setup.traces, threads, campaign_seconds,
-      campaign_seconds > 0.0
-          ? static_cast<double>(setup.traces) / campaign_seconds
-          : 0.0);
+  bench::JsonLine("fig4_tvla")
+      .field("design", "des3")
+      .field("traces", setup.traces)
+      .field("threads", engine::ThreadPool::resolve_threads(tvla_config.threads))
+      .field("campaign_seconds", campaign_seconds)
+      .field("traces_per_sec",
+             campaign_seconds > 0.0
+                 ? static_cast<double>(setup.traces) / campaign_seconds
+                 : 0.0,
+             1)
+      .print();
   return 0;
 }

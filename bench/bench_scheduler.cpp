@@ -1,0 +1,152 @@
+// Global scheduler bench: N unequal-size TVLA campaigns (the shape of a
+// suite audit or an Algorithm-1 labelling sweep) run two ways:
+//  * per-campaign - campaigns back to back, each sharding across the full
+//    pool (the PR-1 path): small campaigns can't overlap the big ones, so
+//    the suite pays every campaign's fork/join tail in sequence;
+//  * global scheduler - every campaign's shards in ONE priority queue
+//    (heaviest first), drained by the shared pool.
+// Reports per-campaign completion latency (mean/max = tail), makespan, and
+// traces/sec for both paths as a JSON line, and verifies the two paths
+// produce bit-identical reports while at it.
+//
+// Env knobs (bench_common.hpp): POLARIS_BENCH_TRACES scales the base
+// budget, POLARIS_BENCH_THREADS the fan-out.
+#include <cmath>
+#include <cstdio>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "engine/scheduler.hpp"
+#include "tvla/tvla.hpp"
+#include "util/timer.hpp"
+
+using namespace polaris;
+
+namespace {
+
+struct CampaignSpec {
+  const char* design;
+  double scale;
+  double traces_factor;  // of the base budget: deliberately unequal
+};
+
+// Unequal on both axes (gate count and trace budget): the worst case for
+// back-to-back campaigns, the motivating case for the global queue.
+constexpr CampaignSpec kSpecs[] = {
+    {"des3", 1.0, 1.0},     {"square", 1.0, 0.5},  {"sin", 0.6, 0.25},
+    {"voter", 0.8, 0.5},    {"multiplier", 0.5, 0.25}, {"md5", 0.35, 0.125},
+    {"arbiter", 0.5, 0.25}, {"log2", 0.25, 0.125},
+};
+
+}  // namespace
+
+int main() {
+  const auto setup = bench::BenchSetup::from_env();
+  std::printf("=== Global shard scheduler: %zu unequal campaigns ===\n\n",
+              std::size(kSpecs));
+
+  std::vector<circuits::Design> designs;
+  std::vector<tvla::TvlaConfig> configs;
+  std::size_t total_traces = 0;
+  for (const auto& spec : kSpecs) {
+    designs.push_back(circuits::get_design(spec.design, spec.scale));
+    tvla::TvlaConfig config;
+    config.traces = static_cast<std::size_t>(
+        static_cast<double>(setup.traces) * spec.traces_factor);
+    if (config.traces < 64) config.traces = 64;
+    config.noise_std_fj = 1.0;
+    config.seed = setup.seed;
+    config.threads = setup.threads;
+    configs.push_back(config);
+    total_traces += config.traces;
+  }
+  const std::size_t n = designs.size();
+
+  // --- per-campaign path: back to back, each sharded across the pool ----
+  std::vector<tvla::LeakageReport> sequential_reports;
+  std::vector<double> sequential_done(n, 0.0);
+  util::Timer sequential_timer;
+  for (std::size_t i = 0; i < n; ++i) {
+    sequential_reports.push_back(
+        tvla::run_fixed_vs_random(designs[i].netlist, setup.lib, configs[i]));
+    sequential_done[i] = sequential_timer.seconds();
+  }
+  const double sequential_seconds = sequential_timer.seconds();
+
+  // --- global scheduler: one queue, one drain ---------------------------
+  engine::Scheduler scheduler(setup.threads);
+  std::vector<std::future<tvla::LeakageReport>> pending;
+  pending.reserve(n);
+  util::Timer scheduler_timer;
+  for (std::size_t i = 0; i < n; ++i) {
+    pending.push_back(tvla::submit_fixed_vs_random(scheduler, designs[i].netlist,
+                                                   setup.lib, configs[i]));
+  }
+  // Waiter threads stamp each campaign's completion latency (they block on
+  // the futures while the pool drains the queue).
+  std::vector<double> scheduler_done(n, 0.0);
+  std::vector<std::thread> waiters;
+  waiters.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    waiters.emplace_back([&, i] {
+      pending[i].wait();
+      scheduler_done[i] = scheduler_timer.seconds();
+    });
+  }
+  scheduler.drain();
+  for (auto& waiter : waiters) waiter.join();
+  const double scheduler_seconds = scheduler_timer.seconds();
+
+  // --- identical results, better tail ----------------------------------
+  std::size_t mismatched = 0;
+  std::printf("%-12s %8s %7s  %13s %13s\n", "design", "gates", "traces",
+              "seq done (s)", "sched done (s)");
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto report = pending[i].get();
+    const auto& reference = sequential_reports[i].t_values();
+    for (std::size_t g = 0; g < reference.size(); ++g) {
+      if (reference[g] != report.t_values()[g]) {
+        ++mismatched;
+        break;
+      }
+    }
+    std::printf("%-12s %8zu %7zu  %13.3f %13.3f\n", designs[i].name.c_str(),
+                designs[i].netlist.gate_count(), configs[i].traces,
+                sequential_done[i], scheduler_done[i]);
+  }
+  std::printf("\nbit-identical reports: %s\n",
+              mismatched == 0 ? "yes (all campaigns)" : "NO - DETERMINISM BUG");
+
+  auto mean = [](const std::vector<double>& xs) {
+    double sum = 0.0;
+    for (const double x : xs) sum += x;
+    return xs.empty() ? 0.0 : sum / static_cast<double>(xs.size());
+  };
+  auto max_of = [](const std::vector<double>& xs) {
+    double peak = 0.0;
+    for (const double x : xs) peak = std::max(peak, x);
+    return peak;
+  };
+
+  bench::JsonLine("scheduler")
+      .field("designs", n)
+      .field("threads", scheduler.threads())
+      .field("total_traces", total_traces)
+      .field("sequential_seconds", sequential_seconds)
+      .field("sequential_mean_latency", mean(sequential_done))
+      .field("scheduler_seconds", scheduler_seconds)
+      .field("scheduler_mean_latency", mean(scheduler_done))
+      .field("scheduler_tail_latency", max_of(scheduler_done))
+      .field("speedup",
+             scheduler_seconds > 0.0 ? sequential_seconds / scheduler_seconds
+                                     : 0.0)
+      .field("traces_per_sec",
+             scheduler_seconds > 0.0
+                 ? static_cast<double>(total_traces) / scheduler_seconds
+                 : 0.0,
+             1)
+      .print();
+  return mismatched == 0 ? 0 : 1;
+}

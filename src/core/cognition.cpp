@@ -3,26 +3,22 @@
 #include <algorithm>
 #include <cmath>
 
-#include "engine/thread_pool.hpp"
-#include "graph/features.hpp"
-#include "masking/masking.hpp"
-#include "tvla/tvla.hpp"
+#include "engine/scheduler.hpp"
 #include "util/rng.hpp"
-#include "util/timer.hpp"
 
 namespace polaris::core {
 
 using netlist::GateId;
 
-CognitionStats generate_cognition_data(const circuits::Design& design,
-                                       const techlib::TechLibrary& lib,
-                                       const PolarisConfig& config,
-                                       ml::Dataset& dataset) {
-  CognitionStats stats;
+CognitionPlan::CognitionPlan(const circuits::Design& design,
+                             const techlib::TechLibrary& lib,
+                             const PolarisConfig& config,
+                             engine::Scheduler& scheduler)
+    : scheduler_(&scheduler),
+      extractor_(design.netlist, graph::FeatureSpec{config.locality}),
+      theta_r_(config.theta_r),
+      min_leak_for_label_(config.min_leak_for_label) {
   const auto tvla_config = tvla_config_for(config, design);
-
-  graph::FeatureExtractor extractor(design.netlist,
-                                    graph::FeatureSpec{config.locality});
 
   // Phase 1 - draw every iteration's S_gates up front. The selection
   // sequence only consumes the RNG (never a TVLA result), so pre-drawing is
@@ -37,8 +33,7 @@ CognitionStats generate_cognition_data(const circuits::Design& design,
                        (design.netlist.gate_count() << 8));
   const std::size_t mask_size = std::max<std::size_t>(1, config.mask_size);
 
-  std::vector<std::vector<GateId>> selections;
-  while (pool.size() >= mask_size && selections.size() < config.iterations) {
+  while (pool.size() >= mask_size && selections_.size() < config.iterations) {
     // S_gates <- random(Msize, R): partial Fisher-Yates from the back.
     std::vector<GateId> selected;
     selected.reserve(mask_size);
@@ -48,49 +43,80 @@ CognitionStats generate_cognition_data(const circuits::Design& design,
       pool[j] = pool.back();
       pool.pop_back();
     }
-    selections.push_back(std::move(selected));
+    selections_.push_back(std::move(selected));
   }
-  stats.iterations = selections.size();
 
-  // Phase 2 - the original design's leak_estimate (shards in parallel),
-  // then one campaign per iteration, all independent: run them concurrently
-  // on the shared pool. Each task keeps only its selection's |t| values
-  // (mask_size doubles), never the whole per-group report.
-  // leak_estimate_seconds is the wall-clock of this phase.
-  util::Timer leak_timer;
-  const tvla::LeakageReport original =
-      tvla::run_fixed_vs_random(design.netlist, lib, tvla_config);
-  std::vector<std::vector<double>> t_mod(selections.size());
-  engine::ThreadPool::shared().parallel_for(
-      selections.size(), engine::ThreadPool::resolve_threads(config.threads),
-      [&](std::size_t it) {
-        const auto modified = masking::apply_masking(
-            design.netlist, selections[it], config.scheme);
-        const tvla::LeakageReport mod =
-            tvla::run_fixed_vs_random(modified.design, lib, tvla_config);
-        t_mod[it].reserve(selections[it].size());
-        for (const GateId g : selections[it]) {
-          t_mod[it].push_back(std::fabs(mod.t_value(g)));
-        }
-      });
-  stats.leak_estimate_seconds += leak_timer.seconds();
+  // Phase 2 - submit the original design's leak_estimate plus one campaign
+  // per iteration into the global shard queue; they interleave with every
+  // other pending campaign. The masked variants must outlive their
+  // campaigns, so they are materialized here (reserve: the netlists'
+  // addresses are captured by the shard closures and must not move).
+  // Peak memory is therefore designs x iterations masked netlists held
+  // through the drain - a few MB for the built-in training suites
+  // (<1k-gate designs); if training suites ever grow to large netlists,
+  // the seam is a submit overload that lets each campaign own (and lazily
+  // build) its input.
+  timer_.reset();
+  original_ = tvla::submit_fixed_vs_random(scheduler, design.netlist, lib,
+                                           tvla_config);
+  modified_.reserve(selections_.size());
+  modified_reports_.reserve(selections_.size());
+  for (const auto& selection : selections_) {
+    modified_.push_back(
+        masking::apply_masking(design.netlist, selection, config.scheme));
+    modified_reports_.push_back(tvla::submit_fixed_vs_random(
+        scheduler, modified_.back().design, lib, tvla_config));
+  }
+}
+
+CognitionStats CognitionPlan::finalize(ml::Dataset& dataset) {
+  CognitionStats stats;
+  stats.iterations = selections_.size();
+
+  // Drain defensively: a no-op when the caller already drained, and it
+  // keeps a lone finalize() from blocking on futures nobody is running.
+  scheduler_->drain();
+
+  // Each iteration keeps only its selection's |t| values, never the full
+  // report.
+  const tvla::LeakageReport original = original_.get();
+  std::vector<std::vector<double>> t_mod(selections_.size());
+  for (std::size_t it = 0; it < selections_.size(); ++it) {
+    const tvla::LeakageReport mod = modified_reports_[it].get();
+    t_mod[it].reserve(selections_[it].size());
+    for (const GateId g : selections_[it]) {
+      t_mod[it].push_back(std::fabs(mod.t_value(g)));
+    }
+  }
+  modified_.clear();  // the masked netlists are no longer referenced
+  stats.leak_estimate_seconds = timer_.seconds();
 
   // Phase 3 - label in iteration order (deterministic dataset layout).
-  for (std::size_t it = 0; it < selections.size(); ++it) {
-    for (std::size_t s = 0; s < selections[it].size(); ++s) {
-      const GateId g = selections[it][s];
+  for (std::size_t it = 0; it < selections_.size(); ++it) {
+    for (std::size_t s = 0; s < selections_[it].size(); ++s) {
+      const GateId g = selections_[it][s];
       const double t_orig = std::fabs(original.t_value(g));
       int label = 0;
-      if (t_orig >= config.min_leak_for_label) {
+      if (t_orig >= min_leak_for_label_) {
         const double ratio = 1.0 - t_mod[it][s] / t_orig;  // compare(LG, Lmod)
-        label = ratio >= config.theta_r ? 1 : 0;
+        label = ratio >= theta_r_ ? 1 : 0;
       }
-      dataset.add(extractor.extract(g), label);
+      dataset.add(extractor_.extract(g), label);
       ++stats.samples;
       stats.positives += static_cast<std::size_t>(label);
     }
   }
   return stats;
+}
+
+CognitionStats generate_cognition_data(const circuits::Design& design,
+                                       const techlib::TechLibrary& lib,
+                                       const PolarisConfig& config,
+                                       ml::Dataset& dataset) {
+  engine::Scheduler scheduler(config.threads);
+  CognitionPlan plan(design, lib, config, scheduler);
+  scheduler.drain();
+  return plan.finalize(dataset);
 }
 
 }  // namespace polaris::core

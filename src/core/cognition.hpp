@@ -14,12 +14,32 @@
 // were not meaningfully leaky to begin with are labelled 0 (masking them is
 // wasted overhead), which matches the paper's intent of learning *where
 // masking pays off*.
+//
+// Execution: the selection sequence only consumes the RNG (never a TVLA
+// result), so every iteration's leak_estimate is an independent campaign.
+// CognitionPlan submits them all - the original design's plus one per
+// iteration - to a global engine::Scheduler, where they interleave with
+// every other pending design's campaigns as one shard queue; finalize()
+// labels in iteration order after the drain, so the dataset layout (and
+// every sample in it) is bit-identical to the sequential formulation.
 #pragma once
+
+#include <future>
+#include <memory>
+#include <vector>
 
 #include "circuits/suite.hpp"
 #include "core/config.hpp"
+#include "graph/features.hpp"
+#include "masking/masking.hpp"
 #include "ml/dataset.hpp"
 #include "techlib/techlib.hpp"
+#include "tvla/tvla.hpp"
+#include "util/timer.hpp"
+
+namespace polaris::engine {
+class Scheduler;
+}  // namespace polaris::engine
 
 namespace polaris::core {
 
@@ -30,8 +50,37 @@ struct CognitionStats {
   double leak_estimate_seconds = 0.0;
 };
 
+/// One design's Algorithm-1 run, split around a Scheduler::drain():
+/// the constructor draws every iteration's S_gates, builds the masked
+/// variants, and submits all leak_estimate campaigns; finalize() labels
+/// into the dataset (it drains the scheduler first, a no-op when the
+/// caller - e.g. Polaris::train across many plans - already did).
+/// The caller keeps `design` and `lib` alive until finalize() returns.
+class CognitionPlan {
+ public:
+  CognitionPlan(const circuits::Design& design, const techlib::TechLibrary& lib,
+                const PolarisConfig& config, engine::Scheduler& scheduler);
+
+  /// Appends the labelled samples (iteration order) and returns the stats.
+  /// leak_estimate_seconds spans submission through the last report -
+  /// i.e. it includes the shared drain this plan's campaigns rode on.
+  CognitionStats finalize(ml::Dataset& dataset);
+
+ private:
+  engine::Scheduler* scheduler_;
+  graph::FeatureExtractor extractor_;
+  double theta_r_;
+  double min_leak_for_label_;
+  std::vector<std::vector<netlist::GateId>> selections_;
+  std::vector<masking::MaskingResult> modified_;  // alive until reports land
+  std::future<tvla::LeakageReport> original_;
+  std::vector<std::future<tvla::LeakageReport>> modified_reports_;
+  util::Timer timer_;
+};
+
 /// Runs Algorithm 1 on one design and appends the labelled samples to
-/// `dataset`. Deterministic for a fixed config.
+/// `dataset`. Deterministic for a fixed config: a convenience wrapper that
+/// drains a private scheduler around one CognitionPlan.
 CognitionStats generate_cognition_data(const circuits::Design& design,
                                        const techlib::TechLibrary& lib,
                                        const PolarisConfig& config,

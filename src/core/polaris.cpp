@@ -4,6 +4,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "engine/scheduler.hpp"
 #include "engine/thread_pool.hpp"
 #include "graph/features.hpp"
 #include "masking/masking.hpp"
@@ -196,18 +197,32 @@ TrainingSummary Polaris::train(
   data_ = ml::Dataset{};
 
   util::Timer timer;
-  // Algorithm 1 is embarrassingly parallel across training designs: each
-  // design labels into its own dataset (so the shared pool can interleave
-  // designs and their campaigns freely), merged in design order afterwards
-  // for a deterministic sample layout.
-  std::vector<ml::Dataset> per_design(training_designs.size());
+  // Algorithm 1 across training designs: every design's labelling
+  // campaigns (original + one per iteration) enter ONE global shard queue,
+  // so the pool never idles on a design that finished early - the tail of
+  // the largest design is filled by the others' shards. Labels are applied
+  // in design order afterwards for a deterministic sample layout.
+  engine::Scheduler scheduler(config_.threads);
+  // Plan construction (selection draws + apply_masking per iteration) runs
+  // design-parallel on the pool; submission into the scheduler is
+  // mutex-guarded, and the resulting queue order only affects placement,
+  // never results (test_scheduler shuffles submission orders).
+  std::vector<std::unique_ptr<CognitionPlan>> plans(training_designs.size());
   engine::ThreadPool::shared().parallel_for(
       training_designs.size(),
       engine::ThreadPool::resolve_threads(config_.threads),
       [&](std::size_t i) {
-        generate_cognition_data(training_designs[i], lib, config_,
-                                per_design[i]);
+        plans[i] = std::make_unique<CognitionPlan>(training_designs[i], lib,
+                                                   config_, scheduler);
       });
+  scheduler.drain();
+  // Labelling (graph feature extraction per sample) is the non-TVLA cost;
+  // finalize each design into its own dataset in parallel, then append in
+  // design order for the deterministic sample layout.
+  std::vector<ml::Dataset> per_design(plans.size());
+  engine::ThreadPool::shared().parallel_for(
+      plans.size(), engine::ThreadPool::resolve_threads(config_.threads),
+      [&](std::size_t i) { (void)plans[i]->finalize(per_design[i]); });
   for (const auto& partial : per_design) data_.append(partial);
   summary.dataset_seconds = timer.seconds();
   summary.samples = data_.size();
@@ -293,6 +308,23 @@ std::vector<double> Polaris::score_gates(const circuits::Design& design,
     scores.swap(smoothed);
   }
   return scores;
+}
+
+std::vector<tvla::LeakageReport> audit_designs(
+    std::span<const circuits::Design> designs, const techlib::TechLibrary& lib,
+    const PolarisConfig& config) {
+  engine::Scheduler scheduler(config.threads);
+  std::vector<std::future<tvla::LeakageReport>> pending;
+  pending.reserve(designs.size());
+  for (const auto& design : designs) {
+    pending.push_back(tvla::submit_fixed_vs_random(
+        scheduler, design.netlist, lib, tvla_config_for(config, design)));
+  }
+  scheduler.drain();
+  std::vector<tvla::LeakageReport> reports;
+  reports.reserve(designs.size());
+  for (auto& future : pending) reports.push_back(future.get());
+  return reports;
 }
 
 MaskingOutcome Polaris::mask_design(const circuits::Design& design,

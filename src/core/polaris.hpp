@@ -108,4 +108,13 @@ class Polaris {
 /// archive container: magic, version, CRC).
 [[nodiscard]] BundleInfo read_bundle_info(const std::string& path);
 
+/// TVLA-audits every design as one flow: all campaigns' shards drain
+/// through a global engine::Scheduler as a single work queue, so designs
+/// with unequal trace budgets or gate counts do not serialize behind each
+/// other. Reports (design order) are bit-identical to calling
+/// tvla::run_fixed_vs_random per design. Needs no trained model.
+[[nodiscard]] std::vector<tvla::LeakageReport> audit_designs(
+    std::span<const circuits::Design> designs, const techlib::TechLibrary& lib,
+    const PolarisConfig& config);
+
 }  // namespace polaris::core

@@ -1,0 +1,59 @@
+#include "engine/scheduler.hpp"
+
+namespace polaris::engine {
+
+void Scheduler::enqueue(std::shared_ptr<CampaignTask> campaign) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  campaign->sequence = next_sequence_++;
+  for (std::size_t shard = 0; shard < campaign->plan.shard_count; ++shard) {
+    queue_.push(QueueEntry{campaign, shard});
+  }
+}
+
+bool Scheduler::run_next() {
+  QueueEntry entry;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) return false;
+    entry = queue_.top();
+    queue_.pop();
+  }
+  entry.campaign->run_shard(entry.shard);
+  bool last = false;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    last = --entry.campaign->remaining == 0;
+  }
+  // The finisher saw the last decrement under the mutex, so every shard's
+  // state write happens-before this merge regardless of which threads ran
+  // them. Merging outside the lock keeps other drain threads popping.
+  if (last) entry.campaign->finish();
+  return true;
+}
+
+void Scheduler::drain() {
+  // Loop: a parallel_for covers the shards queued at its start; campaigns
+  // submitted while it runs are picked up by the next pass.
+  for (;;) {
+    std::size_t n = 0;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      n = queue_.size();
+    }
+    if (n == 0) return;
+    if (threads_ <= 1) {
+      while (run_next()) {
+      }
+    } else {
+      ThreadPool::shared().parallel_for(n, threads_,
+                                        [this](std::size_t) { run_next(); });
+    }
+  }
+}
+
+std::size_t Scheduler::pending_shards() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace polaris::engine

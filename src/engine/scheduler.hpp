@@ -1,0 +1,207 @@
+// Global shard scheduler: one work queue for every pending campaign.
+//
+// The TraceEngine (trace_engine.hpp) shards ONE campaign's batch range and
+// blocks until it is merged - the right shape for a single leak_estimate(D)
+// call, but a multi-campaign flow (Algorithm 1 labelling, suite audits,
+// masking sweeps) pays tail latency whenever designs have unequal batch
+// counts: the pool idles while the last campaign's final shards finish.
+//
+// The Scheduler flattens all pending campaigns' shards into one priority
+// queue drained by the shared ThreadPool. Each submit() registers a
+// campaign - a ShardPlan over its batch range plus make/run_batch/merge/
+// finalize callables - and returns a std::future for its result. drain()
+// executes every queued shard; heavier campaigns' shards are popped first
+// (LPT order), so short campaigns fill the stragglers' idle lanes instead
+// of queueing behind them.
+//
+// Determinism contract (tested in tests/test_scheduler.cpp): a campaign's
+// result is bit-identical to the per-campaign TraceEngine path at every
+// thread count, queue interleaving, and submission order, because
+//  * the ShardPlan is the same pure function of the batch count;
+//  * every batch derives its randomness from stream_seed(seed, batch, tag),
+//    so execution placement cannot change a batch's samples;
+//  * shard states merge in ascending shard order, on whichever thread
+//    completes the campaign's last shard - the float op sequence is the
+//    TraceEngine's, regardless of which threads ran the shards.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "engine/thread_pool.hpp"
+#include "engine/trace_engine.hpp"
+
+namespace polaris::engine {
+
+class Scheduler {
+ public:
+  /// `threads` caps the drain fan-out: 0 = all hardware threads, 1 = fully
+  /// serial (drain runs every shard inline, in strict priority order).
+  explicit Scheduler(std::size_t threads = 0)
+      : threads_(ThreadPool::resolve_threads(threads)) {}
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  [[nodiscard]] std::size_t threads() const { return threads_; }
+
+  /// Registers a campaign and queues its shards. Returns a future for the
+  /// finalized result; the future becomes ready during drain(), when the
+  /// campaign's last shard has executed and its shard states have merged.
+  ///
+  ///   make(shard_index)        -> State   (own simulator, zeroed moments)
+  ///   run_batch(state, batch)  ->         (batch = global batch index)
+  ///   merge(into, from)        ->         (ascending shard order)
+  ///   finalize(state)          -> Result  (runs once, after the merge)
+  ///
+  /// `weight` orders the queue (heavier campaigns drain first); 0 uses the
+  /// batch count. An exception from any callable fails only this campaign:
+  /// its remaining shards are skipped and the future rethrows on get().
+  /// Zero-batch campaigns finalize make(0) inline and return a ready
+  /// future, mirroring TraceEngine::run.
+  template <class State, class MakeState, class RunBatch, class Merge,
+            class Finalize,
+            class Result = std::invoke_result_t<Finalize&, State&&>>
+  std::future<Result> submit(std::size_t total_batches, MakeState make,
+                             RunBatch run_batch, Merge merge,
+                             Finalize finalize, std::size_t weight = 0) {
+    auto campaign = std::make_shared<
+        TypedCampaign<State, Result, MakeState, RunBatch, Merge, Finalize>>(
+        std::move(make), std::move(run_batch), std::move(merge),
+        std::move(finalize));
+    campaign->plan = ShardPlan::make(total_batches);
+    campaign->weight = weight == 0 ? total_batches : weight;
+    std::future<Result> future = campaign->promise.get_future();
+    if (campaign->plan.shard_count == 0) {
+      campaign->finish();  // TraceEngine semantics: finalize(make(0))
+      return future;
+    }
+    campaign->states.resize(campaign->plan.shard_count);
+    campaign->remaining = campaign->plan.shard_count;
+    enqueue(std::move(campaign));
+    return future;
+  }
+
+  /// Executes every queued shard on the shared pool (the calling thread
+  /// participates) and returns once all submitted campaigns have finished.
+  /// Shards submitted while draining are included. Safe to call from
+  /// inside a pool job: the fan-out then runs inline (see ThreadPool).
+  void drain();
+
+  /// Shards still queued (not yet claimed by drain). Test/bench hook.
+  [[nodiscard]] std::size_t pending_shards() const;
+
+ private:
+  /// Type-erased campaign control block. `remaining` is guarded by the
+  /// scheduler mutex; each shard's state slot is written by exactly one
+  /// drain thread and read by the finisher after the last decrement, so
+  /// the mutex ordering publishes every slot.
+  struct CampaignTask {
+    virtual ~CampaignTask() = default;
+    /// Runs one shard's batches. Never throws: failures are captured into
+    /// the campaign and surface via the future.
+    virtual void run_shard(std::size_t shard) noexcept = 0;
+    /// Merges shard states in ascending order and fulfills the promise.
+    /// Called exactly once, after the last shard executed.
+    virtual void finish() noexcept = 0;
+
+    ShardPlan plan;
+    std::size_t weight = 0;
+    std::uint64_t sequence = 0;  // submission order, the priority tie-break
+    std::size_t remaining = 0;   // shards not yet executed
+  };
+
+  template <class State, class Result, class MakeState, class RunBatch,
+            class Merge, class Finalize>
+  struct TypedCampaign final : CampaignTask {
+    TypedCampaign(MakeState make, RunBatch run_batch, Merge merge,
+                  Finalize finalize)
+        : make(std::move(make)),
+          run_batch(std::move(run_batch)),
+          merge(std::move(merge)),
+          finalize(std::move(finalize)) {}
+
+    void run_shard(std::size_t shard) noexcept override {
+      if (failed.load(std::memory_order_relaxed)) return;  // doomed campaign
+      try {
+        State state = make(shard);
+        for (std::size_t b = plan.begin(shard); b < plan.end(shard); ++b) {
+          run_batch(state, b);
+        }
+        states[shard].emplace(std::move(state));
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+
+    void finish() noexcept override {
+      try {
+        if (error) std::rethrow_exception(error);
+        if (states.empty()) {  // zero-batch campaign
+          promise.set_value(finalize(make(0)));
+          return;
+        }
+        State total = std::move(*states[0]);
+        for (std::size_t shard = 1; shard < states.size(); ++shard) {
+          merge(total, std::move(*states[shard]));
+        }
+        promise.set_value(finalize(std::move(total)));
+      } catch (...) {
+        promise.set_exception(std::current_exception());
+      }
+    }
+
+    MakeState make;
+    RunBatch run_batch;
+    Merge merge;
+    Finalize finalize;
+    std::vector<std::optional<State>> states;
+    std::promise<Result> promise;
+    std::mutex error_mutex;
+    std::exception_ptr error;
+    std::atomic<bool> failed{false};
+  };
+
+  struct QueueEntry {
+    std::shared_ptr<CampaignTask> campaign;
+    std::size_t shard = 0;
+  };
+  /// Max-heap order: heavier campaign first (LPT), then submission order,
+  /// then ascending shard - a deterministic total order, so serial drains
+  /// execute an identical schedule every run.
+  struct EntryOrder {
+    bool operator()(const QueueEntry& a, const QueueEntry& b) const {
+      if (a.campaign->weight != b.campaign->weight) {
+        return a.campaign->weight < b.campaign->weight;
+      }
+      if (a.campaign->sequence != b.campaign->sequence) {
+        return a.campaign->sequence > b.campaign->sequence;
+      }
+      return a.shard > b.shard;
+    }
+  };
+
+  void enqueue(std::shared_ptr<CampaignTask> campaign);
+  /// Pops and executes one shard; runs the campaign's finish() if it was
+  /// the last. Returns false when the queue was empty.
+  bool run_next();
+
+  mutable std::mutex mutex_;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, EntryOrder> queue_;
+  std::size_t threads_;
+  std::uint64_t next_sequence_ = 0;
+};
+
+}  // namespace polaris::engine

@@ -1,6 +1,8 @@
 #include "engine/thread_pool.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <exception>
 
 namespace polaris::engine {
@@ -104,7 +106,31 @@ void ThreadPool::worker_loop() {
 }
 
 ThreadPool& ThreadPool::shared() {
-  static ThreadPool pool(resolve_threads(0) - 1);
+  // POLARIS_POOL_WORKERS overrides the hardware sizing - how the TSan CI
+  // job (and tests on small machines) force real worker threads under the
+  // scheduler regardless of the runner's core count. Malformed or absurd
+  // values fall back to the hardware default WITH a warning: silently
+  // accepting a typo as "0 workers" would quietly turn the TSan job's
+  // real-thread interleaving into inline execution.
+  static ThreadPool pool([] {
+    const std::size_t fallback = resolve_threads(0) - 1;
+    const char* env = std::getenv("POLARIS_POOL_WORKERS");
+    if (env == nullptr || *env == '\0') return fallback;
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(env, &end, 10);
+    constexpr unsigned long long kMaxWorkers = 256;
+    if (*env < '0' || *env > '9' || *end != '\0' || parsed > kMaxWorkers) {
+      std::fprintf(stderr,
+                   "polaris: ignoring POLARIS_POOL_WORKERS='%s' (expected an "
+                   "integer in [0, %llu]); using %zu workers\n",
+                   env, kMaxWorkers, fallback);
+      return fallback;
+    }
+    // 0 means "auto", matching every other threads knob in the codebase
+    // (forced-serial execution comes from a threads=1 cap, not from an
+    // empty pool).
+    return parsed == 0 ? fallback : static_cast<std::size_t>(parsed);
+  }());
   return pool;
 }
 

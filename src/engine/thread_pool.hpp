@@ -49,7 +49,9 @@ class ThreadPool {
   [[nodiscard]] std::size_t worker_count() const { return workers_.size(); }
 
   /// Process-wide pool sized to the hardware (hardware_concurrency - 1
-  /// workers; the submitting thread supplies the remaining lane).
+  /// workers; the submitting thread supplies the remaining lane). The
+  /// POLARIS_POOL_WORKERS environment variable overrides the worker count
+  /// (used by the TSan CI job to force real threads on small runners).
   static ThreadPool& shared();
 
   /// Maps a user-facing `threads` knob to an effective thread count:

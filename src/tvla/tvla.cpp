@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <stdexcept>
 
+#include "engine/scheduler.hpp"
 #include "engine/trace_engine.hpp"
 #include "power/power_model.hpp"
 #include "sim/simulator.hpp"
@@ -101,23 +103,51 @@ class Campaign {
     classify_groups();
   }
 
-  LeakageReport run() {
+  /// Trace budget in whole 64-lane batches (sequential designs pack
+  /// 64 * cycles_per_batch samples per batch).
+  [[nodiscard]] std::size_t batch_count() const {
     const std::size_t lanes = sim::kLanes;
     const std::size_t samples_per_batch =
         sequential_ ? lanes * config_.cycles_per_batch : lanes;
-    const std::size_t batches =
-        config_.traces == 0
-            ? 0
-            : (config_.traces + samples_per_batch - 1) / samples_per_batch;
+    return config_.traces == 0
+               ? 0
+               : (config_.traces + samples_per_batch - 1) / samples_per_batch;
+  }
 
+  /// Scheduler priority: a proxy for the campaign's simulation cost, so the
+  /// global queue drains heavier campaigns first (LPT order).
+  [[nodiscard]] std::size_t cost_weight() const {
+    const std::size_t cycles = sequential_ ? config_.cycles_per_batch : 1;
+    return batch_count() * cycles * std::max<std::size_t>(1, design_.gate_count());
+  }
+
+  LeakageReport run() {
     const engine::TraceEngine eng(config_.threads);
     ShardState merged = eng.run<ShardState>(
-        batches, [this](std::size_t) { return make_shard_state(); },
+        batch_count(), [this](std::size_t) { return make_shard_state(); },
         [this](ShardState& state, std::size_t batch) { run_batch(state, batch); },
         [](ShardState& into, ShardState&& from) {
           into.moments.merge(from.moments);
         });
     return finalize(merged.moments);
+  }
+
+  /// Queues this campaign on the global scheduler. `self` keeps the
+  /// campaign (and its power model / group layout) alive inside the shard
+  /// closures until the last shard finalized the report.
+  static std::future<LeakageReport> submit(std::shared_ptr<Campaign> self,
+                                           engine::Scheduler& scheduler) {
+    return scheduler.submit<ShardState>(
+        self->batch_count(),
+        [self](std::size_t) { return self->make_shard_state(); },
+        [self](ShardState& state, std::size_t batch) {
+          self->run_batch(state, batch);
+        },
+        [](ShardState& into, ShardState&& from) {
+          into.moments.merge(from.moments);
+        },
+        [self](ShardState&& total) { return self->finalize(total.moments); },
+        self->cost_weight());
   }
 
  private:
@@ -344,6 +374,22 @@ LeakageReport run_fixed_vs_fixed(const netlist::Netlist& design,
                                  const techlib::TechLibrary& lib,
                                  const TvlaConfig& config) {
   return Campaign(design, lib, config, Mode::kFixedVsFixed).run();
+}
+
+std::future<LeakageReport> submit_fixed_vs_random(
+    engine::Scheduler& scheduler, const netlist::Netlist& design,
+    const techlib::TechLibrary& lib, const TvlaConfig& config) {
+  return Campaign::submit(
+      std::make_shared<Campaign>(design, lib, config, Mode::kFixedVsRandom),
+      scheduler);
+}
+
+std::future<LeakageReport> submit_fixed_vs_fixed(
+    engine::Scheduler& scheduler, const netlist::Netlist& design,
+    const techlib::TechLibrary& lib, const TvlaConfig& config) {
+  return Campaign::submit(
+      std::make_shared<Campaign>(design, lib, config, Mode::kFixedVsFixed),
+      scheduler);
 }
 
 }  // namespace polaris::tvla

@@ -23,12 +23,17 @@
 #pragma once
 
 #include <cstdint>
+#include <future>
 #include <optional>
 #include <vector>
 
 #include "netlist/netlist.hpp"
 #include "techlib/techlib.hpp"
 #include "tvla/welch.hpp"
+
+namespace polaris::engine {
+class Scheduler;
+}  // namespace polaris::engine
 
 namespace polaris::tvla {
 
@@ -112,5 +117,22 @@ class LeakageReport {
 [[nodiscard]] LeakageReport run_fixed_vs_fixed(const netlist::Netlist& design,
                                                const techlib::TechLibrary& lib,
                                                const TvlaConfig& config);
+
+/// Asynchronous campaigns for multi-design / multi-campaign flows: queue
+/// this campaign's shards on a global engine::Scheduler alongside every
+/// other pending campaign's. The future becomes ready during
+/// Scheduler::drain() and yields a report bit-identical to the synchronous
+/// entry point above (tests/test_scheduler.cpp), regardless of thread
+/// count, queue interleaving, or submission order. `config.threads` is
+/// ignored - the scheduler owns the fan-out. The caller keeps `design` and
+/// `lib` alive until the future is ready; campaign-construction errors
+/// (e.g. a fixed-vector size mismatch) throw from the submit call itself.
+[[nodiscard]] std::future<LeakageReport> submit_fixed_vs_random(
+    engine::Scheduler& scheduler, const netlist::Netlist& design,
+    const techlib::TechLibrary& lib, const TvlaConfig& config);
+
+[[nodiscard]] std::future<LeakageReport> submit_fixed_vs_fixed(
+    engine::Scheduler& scheduler, const netlist::Netlist& design,
+    const techlib::TechLibrary& lib, const TvlaConfig& config);
 
 }  // namespace polaris::tvla

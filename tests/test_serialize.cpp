@@ -180,6 +180,120 @@ TEST(Archive, WrongTagAndOverreadFail) {
   in.exit_chunk();
 }
 
+// --- property / stress tests ------------------------------------------------
+
+TEST(Archive, RandomizedChunkPayloadsRoundTrip) {
+  // Seeded property sweep: archives with random chunk counts, random
+  // payload mixes, and random vector lengths (empty included) must
+  // round-trip value-exactly. Catches length-prefix and alignment bugs the
+  // hand-written cases miss.
+  util::Xoshiro256 rng(0x5eed);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t chunks = 1 + rng.bounded(5);
+    std::vector<std::vector<double>> f64s(chunks);
+    std::vector<std::vector<std::uint8_t>> u8s(chunks);
+    std::vector<std::string> strs(chunks);
+    std::vector<std::uint64_t> u64s(chunks);
+
+    serialize::Writer out;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      f64s[c].resize(rng.bounded(300));  // 0..299: empty vectors included
+      for (auto& v : f64s[c]) v = rng.gaussian() * 1e3;
+      u8s[c].resize(rng.bounded(1000));
+      for (auto& v : u8s[c]) v = static_cast<std::uint8_t>(rng());
+      strs[c].resize(rng.bounded(100));
+      for (auto& ch : strs[c]) ch = static_cast<char>(rng());  // NULs too
+      u64s[c] = rng();
+
+      out.begin_chunk("PROP");
+      out.u64(u64s[c]);
+      out.f64_vec(f64s[c]);
+      out.str(strs[c]);
+      out.u8_vec(u8s[c]);
+      out.end_chunk();
+    }
+
+    serialize::Reader in(out.finish());
+    for (std::size_t c = 0; c < chunks; ++c) {
+      in.enter_chunk("PROP");
+      EXPECT_EQ(in.u64(), u64s[c]);
+      const auto f64_back = in.f64_vec();
+      ASSERT_EQ(f64_back.size(), f64s[c].size());
+      for (std::size_t i = 0; i < f64_back.size(); ++i) {
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(f64_back[i]),
+                  std::bit_cast<std::uint64_t>(f64s[c][i]));
+      }
+      EXPECT_EQ(in.str(), strs[c]);
+      EXPECT_EQ(in.u8_vec(), u8s[c]);
+      in.exit_chunk();
+    }
+    EXPECT_EQ(in.peek_tag(), "");
+  }
+}
+
+TEST(Archive, EveryPrefixOfASmallBundleFailsCleanly) {
+  // Truncation sweep: EVERY proper prefix of a bundle-shaped archive
+  // (nested chunks, the .plb tag layout) must raise std::runtime_error
+  // from the Reader constructor - never crash, never parse.
+  util::Xoshiro256 rng(77);
+  serialize::Writer out;
+  out.begin_chunk("HEAD");
+  out.u32(1);
+  out.str("polaris-bundle");
+  out.u64(rng());
+  out.end_chunk();
+  out.begin_chunk("MODL");
+  out.begin_chunk("TREE");  // nested, like the real ensemble layout
+  std::vector<double> weights(17);
+  for (auto& w : weights) w = rng.gaussian();
+  out.f64_vec(weights);
+  out.end_chunk();
+  out.end_chunk();
+  out.begin_chunk("DATA");
+  out.u64(3);
+  out.end_chunk();
+  const auto bytes = out.finish();
+
+  for (std::size_t keep = 0; keep < bytes.size(); ++keep) {
+    std::vector<std::uint8_t> cut(
+        bytes.begin(), bytes.begin() + static_cast<std::ptrdiff_t>(keep));
+    EXPECT_THROW(serialize::Reader{std::move(cut)}, std::runtime_error)
+        << "prefix of " << keep << " bytes parsed";
+  }
+  // The full archive, untouched, still reads: the sweep failed for the
+  // right reason.
+  serialize::Reader in{std::vector<std::uint8_t>(bytes)};
+  in.enter_chunk("HEAD");
+  EXPECT_EQ(in.u32(), 1u);
+  in.exit_chunk();
+}
+
+TEST(Archive, RandomTruncationOfRandomArchivesNeverCrashes) {
+  // Seeded stress: random archives, random cut points. Anything the
+  // Reader accepts must be the untruncated whole (CRC guarantees it);
+  // every cut must throw.
+  util::Xoshiro256 rng(0xacc1de27);
+  for (int trial = 0; trial < 30; ++trial) {
+    serialize::Writer out;
+    const std::size_t chunks = 1 + rng.bounded(4);
+    for (std::size_t c = 0; c < chunks; ++c) {
+      out.begin_chunk("RAND");
+      std::vector<std::uint8_t> payload(rng.bounded(500));
+      for (auto& v : payload) v = static_cast<std::uint8_t>(rng());
+      out.u8_vec(payload);
+      out.end_chunk();
+    }
+    const auto bytes = out.finish();
+    for (int cut = 0; cut < 16; ++cut) {
+      const std::size_t keep = rng.bounded(bytes.size());
+      std::vector<std::uint8_t> prefix(
+          bytes.begin(), bytes.begin() + static_cast<std::ptrdiff_t>(keep));
+      EXPECT_THROW(serialize::Reader{std::move(prefix)}, std::runtime_error)
+          << "trial " << trial << " kept " << keep << " of " << bytes.size();
+    }
+  }
+}
+
 TEST(ModelIo, OversizedDatasetRowCountFails) {
   // A lying row count must raise the clean error before any allocation.
   serialize::Writer out;

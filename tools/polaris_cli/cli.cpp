@@ -22,7 +22,7 @@ ParsedFlags::ParsedFlags(std::span<const char* const> args,
                                    [&](const FlagSpec& s) { return s.name == name; });
     if (spec == specs.end()) throw UsageError("unknown flag '--" + name + "'");
     if (!spec->takes_value) {
-      values_[name] = "1";
+      values_.insert_or_assign(name, std::string("1"));
       continue;
     }
     if (i + 1 >= args.size()) {
@@ -96,8 +96,9 @@ std::string render_flag_help(std::span<const FlagSpec> specs) {
   for (const auto& spec : specs) {
     const std::string left =
         "--" + spec.name + (spec.takes_value ? " <arg>" : "");
-    out << "  " << left << std::string(width + 4 - left.size() + 2, ' ')
-        << spec.help << "\n";
+    const std::size_t pad =
+        width + 6 > left.size() ? width + 6 - left.size() : 1;
+    out << "  " << left << std::string(pad, ' ') << spec.help << "\n";
   }
   return out.str();
 }

@@ -1,6 +1,12 @@
 // `polaris_cli audit`: the `leak_estimate(D)` primitive as a flow step - a
 // per-design TVLA report, human table or machine-readable JSON. Also the CI
 // round-trip check: auditing a .v file re-parses whatever `mask` emitted.
+//
+// `--design` accepts a comma-separated list; multiple designs audit
+// concurrently - every campaign's shards drain through the global
+// engine::Scheduler as one work queue (core::audit_designs), so a big
+// design's tail is filled by the small ones' shards. Reports are identical
+// to auditing each design alone.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -13,50 +19,34 @@
 
 namespace polaris::cli {
 
-int cmd_audit(std::span<const char* const> args) {
-  std::vector<FlagSpec> specs = config_flag_specs();
-  specs.push_back({"design", true, "suite name or Verilog file (required)"});
-  specs.push_back({"scale", true, "suite design-size scale in (0,1] (default 1.0)"});
-  specs.push_back({"top", true, "list the N leakiest gates (default 10)"});
-  specs.push_back({"json", false, "emit a JSON object instead of a table"});
-  specs.push_back({"help", false, "show this help"});
-  const ParsedFlags flags(args, specs);
-  if (flags.has("help")) {
-    std::printf("usage: polaris_cli audit --design <name|file.v> [flags]\n\n%s",
-                render_flag_help(specs).c_str());
-    return 0;
-  }
+namespace {
 
-  const auto config = config_from_flags(flags);
-  const auto design =
-      load_design(flags.require("design"), flags.get_double("scale", 1.0));
-  const auto lib = techlib::TechLibrary::default_library();
-  const auto report = tvla::run_fixed_vs_random(
-      design.netlist, lib, core::tvla_config_for(config, design));
-
+void print_json(const circuits::Design& design,
+                const tvla::LeakageReport& report, std::size_t traces,
+                std::size_t top_n) {
   const auto leaky = report.leaky_groups();
-  const std::size_t top = std::min(flags.get_size("top", 10), leaky.size());
-
-  if (flags.has("json")) {
-    std::printf("{\"design\":\"%s\",\"gates\":%zu,\"measured\":%zu,"
-                "\"leaky\":%zu,\"threshold\":%.3f,\"total_abs_t\":%.6f,"
-                "\"leakage_per_gate\":%.6f,\"traces\":%zu,\"top\":[",
-                json_escape(design.name).c_str(), design.netlist.gate_count(),
-                report.measured_count(), leaky.size(), report.threshold(),
-                report.total_abs_t(), report.leakage_per_gate(),
-                config.tvla.traces);
-    for (std::size_t i = 0; i < top; ++i) {
-      std::printf("%s{\"gate\":%lu,\"t\":%.4f}", i == 0 ? "" : ",",
-                  static_cast<unsigned long>(leaky[i]),
-                  report.t_value(leaky[i]));
-    }
-    std::printf("]}\n");
-    return 0;
+  const std::size_t top = std::min(top_n, leaky.size());
+  std::printf("{\"design\":\"%s\",\"gates\":%zu,\"measured\":%zu,"
+              "\"leaky\":%zu,\"threshold\":%.3f,\"total_abs_t\":%.6f,"
+              "\"leakage_per_gate\":%.6f,\"traces\":%zu,\"top\":[",
+              json_escape(design.name).c_str(), design.netlist.gate_count(),
+              report.measured_count(), leaky.size(), report.threshold(),
+              report.total_abs_t(), report.leakage_per_gate(), traces);
+  for (std::size_t i = 0; i < top; ++i) {
+    std::printf("%s{\"gate\":%lu,\"t\":%.4f}", i == 0 ? "" : ",",
+                static_cast<unsigned long>(leaky[i]),
+                report.t_value(leaky[i]));
   }
+  std::printf("]}");
+}
 
+void print_table(const circuits::Design& design,
+                 const tvla::LeakageReport& report, std::size_t traces,
+                 std::size_t top_n) {
+  const auto leaky = report.leaky_groups();
+  const std::size_t top = std::min(top_n, leaky.size());
   std::printf("=== TVLA audit: %s (%zu gates, %zu traces) ===\n",
-              design.name.c_str(), design.netlist.gate_count(),
-              config.tvla.traces);
+              design.name.c_str(), design.netlist.gate_count(), traces);
   std::printf("measured groups:  %zu\n", report.measured_count());
   std::printf("leaky (|t|>%.1f): %zu\n", report.threshold(), leaky.size());
   std::printf("total |t|:        %.3f\n", report.total_abs_t());
@@ -68,6 +58,59 @@ int cmd_audit(std::span<const char* const> args) {
                      util::format_double(std::abs(report.t_value(leaky[i])), 3)});
     }
     std::fputs(table.render().c_str(), stdout);
+  }
+}
+
+}  // namespace
+
+int cmd_audit(std::span<const char* const> args) {
+  std::vector<FlagSpec> specs = config_flag_specs();
+  specs.push_back({"design", true,
+                   "suite name(s) or Verilog file(s), comma-separated "
+                   "(required; several audit concurrently)"});
+  specs.push_back({"scale", true, "suite design-size scale in (0,1] (default 1.0)"});
+  specs.push_back({"top", true, "list the N leakiest gates (default 10)"});
+  specs.push_back({"json", false, "emit a JSON object (array when several designs)"});
+  specs.push_back({"help", false, "show this help"});
+  const ParsedFlags flags(args, specs);
+  if (flags.has("help")) {
+    std::printf("usage: polaris_cli audit --design <name|file.v>[,...] "
+                "[flags]\n\n%s",
+                render_flag_help(specs).c_str());
+    return 0;
+  }
+
+  const auto config = config_from_flags(flags);
+  const double scale = flags.get_double("scale", 1.0);
+  std::vector<circuits::Design> designs;
+  for (const auto& name : util::split(flags.require("design"), ",")) {
+    // trim: "--design 'des3, square'" is natural shell quoting.
+    const auto trimmed = util::trim(name);
+    if (trimmed.empty()) continue;
+    designs.push_back(load_design(std::string(trimmed), scale));
+  }
+  if (designs.empty()) throw UsageError("flag '--design' names no designs");
+
+  const auto lib = techlib::TechLibrary::default_library();
+  const auto reports = core::audit_designs(designs, lib, config);
+  const std::size_t top = flags.get_size("top", 10);
+
+  if (flags.has("json")) {
+    // One object for a single design (the stable CI format); an array when
+    // several were audited together.
+    if (designs.size() > 1) std::printf("[");
+    for (std::size_t i = 0; i < designs.size(); ++i) {
+      if (i > 0) std::printf(",");
+      print_json(designs[i], reports[i], config.tvla.traces, top);
+    }
+    if (designs.size() > 1) std::printf("]");
+    std::printf("\n");
+    return 0;
+  }
+
+  for (std::size_t i = 0; i < designs.size(); ++i) {
+    if (i > 0) std::printf("\n");
+    print_table(designs[i], reports[i], config.tvla.traces, top);
   }
   return 0;
 }

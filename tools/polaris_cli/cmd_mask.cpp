@@ -4,8 +4,10 @@
 // line-10 leakage estimate (before/after TVLA) - useful for sign-off, but
 // not needed for the masking decision itself.
 #include <cstdio>
+#include <optional>
 
 #include "cli.hpp"
+#include "engine/scheduler.hpp"
 #include "netlist/verilog.hpp"
 #include "techlib/techlib.hpp"
 #include "tvla/tvla.hpp"
@@ -43,15 +45,25 @@ int cmd_mask(std::span<const char* const> args) {
   const bool verify = flags.has("verify");
 
   const auto lib = techlib::TechLibrary::default_library();
+  // Masking itself is TVLA-free; the sign-off campaigns (before on the
+  // original, after on the masked netlist) are independent, so they drain
+  // the global scheduler together instead of running back to back.
+  auto outcome =
+      polaris.mask_design(design, lib, mask_size, mode, /*verify=*/false);
+  netlist::write_verilog_file(outcome.masked, out_path);
+
   std::optional<tvla::LeakageReport> before;
   if (verify) {
-    before = tvla::run_fixed_vs_random(
-        design.netlist, lib, core::tvla_config_for(polaris.config(), design));
+    const auto tvla_config = core::tvla_config_for(polaris.config(), design);
+    engine::Scheduler scheduler(polaris.config().threads);
+    auto before_future = tvla::submit_fixed_vs_random(scheduler, design.netlist,
+                                                      lib, tvla_config);
+    auto after_future = tvla::submit_fixed_vs_random(scheduler, outcome.masked,
+                                                     lib, tvla_config);
+    scheduler.drain();
+    before = before_future.get();
+    outcome.verification = after_future.get();
   }
-
-  const auto outcome =
-      polaris.mask_design(design, lib, mask_size, mode, verify);
-  netlist::write_verilog_file(outcome.masked, out_path);
 
   const double before_total = before ? before->total_abs_t() : 0.0;
   const double after_total =
