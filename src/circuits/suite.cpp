@@ -13,6 +13,7 @@
 #include "circuits/memctrl.hpp"
 #include "circuits/misc.hpp"
 #include "circuits/random_logic.hpp"
+#include "netlist/verilog.hpp"
 
 namespace polaris::circuits {
 namespace {
@@ -183,6 +184,19 @@ Design get_design(const std::string& name, double scale) {
     if (design.name == name) return std::move(design);
   }
   throw std::invalid_argument("unknown design: " + name);
+}
+
+Design load_design(const std::string& name_or_path, double scale) {
+  if (name_or_path.size() > 2 &&
+      name_or_path.compare(name_or_path.size() - 2, 2, ".v") == 0) {
+    Design design;
+    design.name = name_or_path;
+    design.netlist = netlist::read_verilog_file(name_or_path);
+    design.roles.assign(design.netlist.primary_inputs().size(),
+                        InputRole::kData);
+    return design;
+  }
+  return get_design(name_or_path, scale);
 }
 
 }  // namespace polaris::circuits

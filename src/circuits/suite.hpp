@@ -33,6 +33,13 @@ struct Design {
 /// std::invalid_argument for unknown names.
 [[nodiscard]] Design get_design(const std::string& name, double scale = 1.0);
 
+/// Loads a design by suite name OR structural-Verilog path (anything ending
+/// in ".v"; all inputs default to the sensitive role). The lookup the CLI
+/// and the serve daemon share, so a served request resolves to exactly the
+/// netlist an offline invocation would.
+[[nodiscard]] Design load_design(const std::string& name_or_path,
+                                 double scale = 1.0);
+
 /// All evaluation-suite names, in Table II order.
 [[nodiscard]] std::vector<std::string> evaluation_names();
 

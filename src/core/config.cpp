@@ -10,6 +10,7 @@
 #include "ml/decision_tree.hpp"
 #include "ml/forest.hpp"
 #include "ml/gbdt.hpp"
+#include "netlist/verilog.hpp"
 
 namespace polaris::core {
 
@@ -199,6 +200,23 @@ std::uint64_t config_fingerprint(const PolarisConfig& config) {
   for (const std::uint8_t byte : writer.bytes()) {
     hash = (hash ^ byte) * 1099511628211ULL;
   }
+  return hash;
+}
+
+std::uint64_t design_fingerprint(const circuits::Design& design) {
+  std::uint64_t hash = 14695981039346656037ULL;  // FNV-1a 64
+  const auto mix = [&hash](const char* data, std::size_t size) {
+    for (std::size_t i = 0; i < size; ++i) {
+      hash = (hash ^ static_cast<std::uint8_t>(data[i])) * 1099511628211ULL;
+    }
+  };
+  mix(design.name.data(), design.name.size());
+  hash = (hash ^ design.roles.size()) * 1099511628211ULL;
+  for (const auto role : design.roles) {
+    hash = (hash ^ static_cast<std::uint8_t>(role)) * 1099511628211ULL;
+  }
+  const std::string verilog = netlist::to_verilog(design.netlist);
+  mix(verilog.data(), verilog.size());
   return hash;
 }
 

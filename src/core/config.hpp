@@ -92,6 +92,13 @@ void write_config(serialize::Writer& out, const PolarisConfig& config);
 /// results, regardless of where or how parallel the run was.
 [[nodiscard]] std::uint64_t config_fingerprint(const PolarisConfig& config);
 
+/// FNV-1a hash over a design's content identity: name, input roles, and
+/// the canonical structural-Verilog serialization of the netlist. Together
+/// with config_fingerprint this keys the serve daemon's result cache -
+/// equal fingerprints guarantee byte-identical audit/mask/score results
+/// (every knob that can change a result is covered by one of the two).
+[[nodiscard]] std::uint64_t design_fingerprint(const circuits::Design& design);
+
 /// Instantiates the configured classifier.
 [[nodiscard]] std::unique_ptr<ml::Classifier> make_model(const PolarisConfig& config);
 

@@ -310,16 +310,23 @@ std::vector<double> Polaris::score_gates(const circuits::Design& design,
   return scores;
 }
 
-std::vector<tvla::LeakageReport> audit_designs(
-    std::span<const circuits::Design> designs, const techlib::TechLibrary& lib,
-    const PolarisConfig& config) {
-  engine::Scheduler scheduler(config.threads);
+std::vector<std::future<tvla::LeakageReport>> submit_audits(
+    engine::Scheduler& scheduler, std::span<const circuits::Design> designs,
+    const techlib::TechLibrary& lib, const PolarisConfig& config) {
   std::vector<std::future<tvla::LeakageReport>> pending;
   pending.reserve(designs.size());
   for (const auto& design : designs) {
     pending.push_back(tvla::submit_fixed_vs_random(
         scheduler, design.netlist, lib, tvla_config_for(config, design)));
   }
+  return pending;
+}
+
+std::vector<tvla::LeakageReport> audit_designs(
+    std::span<const circuits::Design> designs, const techlib::TechLibrary& lib,
+    const PolarisConfig& config) {
+  engine::Scheduler scheduler(config.threads);
+  auto pending = submit_audits(scheduler, designs, lib, config);
   scheduler.drain();
   std::vector<tvla::LeakageReport> reports;
   reports.reserve(designs.size());

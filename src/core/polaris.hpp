@@ -3,6 +3,7 @@
 // and model-guided masking (stage iii, Algorithm 2).
 #pragma once
 
+#include <future>
 #include <memory>
 #include <optional>
 #include <span>
@@ -116,5 +117,14 @@ class Polaris {
 [[nodiscard]] std::vector<tvla::LeakageReport> audit_designs(
     std::span<const circuits::Design> designs, const techlib::TechLibrary& lib,
     const PolarisConfig& config);
+
+/// The request->campaign seam shared by audit_designs and the serve
+/// daemon: queues one fixed-vs-random campaign per design (classes from
+/// each design's roles) on an EXISTING scheduler, so concurrent callers'
+/// shards interleave in one LPT queue. The caller drains the scheduler and
+/// get()s the futures; designs and lib must outlive the drain.
+[[nodiscard]] std::vector<std::future<tvla::LeakageReport>> submit_audits(
+    engine::Scheduler& scheduler, std::span<const circuits::Design> designs,
+    const techlib::TechLibrary& lib, const PolarisConfig& config);
 
 }  // namespace polaris::core

@@ -1,0 +1,46 @@
+#include "core/result_cache.hpp"
+
+namespace polaris::core {
+
+ResultCache::Body ResultCache::get(std::uint64_t key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return it->second;
+}
+
+void ResultCache::put(std::uint64_t key, Body body) {
+  if (capacity_ == 0) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto [it, inserted] = entries_.try_emplace(key, std::move(body));
+  if (!inserted) {
+    it->second = std::move(body);  // refresh (identical bytes in practice)
+    return;
+  }
+  order_.push_back(key);
+  while (entries_.size() > capacity_) {
+    entries_.erase(order_.front());
+    order_.pop_front();
+  }
+}
+
+std::size_t ResultCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::uint64_t ResultCache::hits() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t ResultCache::misses() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+}  // namespace polaris::core

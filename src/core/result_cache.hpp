@@ -1,0 +1,62 @@
+// Bounded, thread-safe result cache for served requests.
+//
+// The serve daemon's value proposition is "train once, mask many"; this
+// cache adds "compute once, answer many": a repeated audit/mask/score of
+// an unchanged design under an unchanged config is O(lookup). Keys are
+// 64-bit fingerprints combining core::config_fingerprint (what was
+// configured) with core::design_fingerprint (what was analyzed) plus any
+// request parameters; values are opaque encoded response bodies, replayed
+// byte-identically on a hit - a cached answer is indistinguishable from a
+// recomputed one because every input that could change the bytes is part
+// of the key.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace polaris::core {
+
+class ResultCache {
+ public:
+  /// Bodies are shared immutable buffers: a hit hands out the pointer, so
+  /// multi-megabyte replies are never copied under the cache mutex (or at
+  /// all - the frame writer reads straight from the shared buffer).
+  using Body = std::shared_ptr<const std::vector<std::uint8_t>>;
+
+  /// `capacity` bounds the entry count (FIFO eviction; 0 disables caching).
+  explicit ResultCache(std::size_t capacity = 256) : capacity_(capacity) {}
+
+  /// Returns the cached body (nullptr on miss), recording a hit/miss.
+  [[nodiscard]] Body get(std::uint64_t key);
+
+  /// Inserts (or refreshes) an entry, evicting the oldest beyond capacity.
+  void put(std::uint64_t key, Body body);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::uint64_t hits() const;
+  [[nodiscard]] std::uint64_t misses() const;
+
+  /// Folds `value` into `key` (FNV-1a step) - the helper request handlers
+  /// use to extend a fingerprint with request parameters.
+  [[nodiscard]] static std::uint64_t combine(std::uint64_t key,
+                                             std::uint64_t value) {
+    for (int shift = 0; shift < 64; shift += 8) {
+      key = (key ^ ((value >> shift) & 0xFF)) * 1099511628211ULL;
+    }
+    return key;
+  }
+
+ private:
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, Body> entries_;
+  std::deque<std::uint64_t> order_;  // insertion order, for FIFO eviction
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace polaris::core

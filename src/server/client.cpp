@@ -1,0 +1,91 @@
+#include "server/client.hpp"
+
+#include <errno.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace polaris::server {
+
+Client::Client(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("polaris client: bad socket path '" +
+                             socket_path + "'");
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw std::runtime_error(std::string("polaris client: socket: ") +
+                             std::strerror(errno));
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("polaris client: cannot connect to '" +
+                             socket_path + "': " + std::strerror(saved) +
+                             " (is the daemon running?)");
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Response Client::roundtrip(std::span<const std::uint8_t> payload) {
+  write_frame(fd_, payload);
+  std::vector<std::uint8_t> reply;
+  // No client-side cap beyond sanity: the server is trusted, but a
+  // corrupted stream should still fail cleanly, not allocate unboundedly.
+  const FrameResult result = read_frame(fd_, kDefaultMaxFrame * 4, reply);
+  if (result == FrameResult::kClosed) {
+    throw std::runtime_error("polaris client: server closed the connection");
+  }
+  if (result != FrameResult::kFrame) {
+    throw std::runtime_error("polaris client: malformed response frame");
+  }
+  Response response = decode_response(std::move(reply));
+  if (response.status != Status::kOk) {
+    throw ServerError(response.status,
+                      response.message.empty() ? to_string(response.status)
+                                               : response.message);
+  }
+  return response;
+}
+
+PingReply Client::ping() {
+  const Response response = roundtrip(encode_ping_request());
+  return decode_ping_reply(response.body);
+}
+
+AuditReply Client::audit(const AuditRequest& request) {
+  const Response response = roundtrip(encode_audit_request(request));
+  AuditReply reply = decode_audit_reply(response.body);
+  reply.cache_hit = response.cache_hit;
+  return reply;
+}
+
+MaskReply Client::mask(const MaskRequest& request) {
+  const Response response = roundtrip(encode_mask_request(request));
+  MaskReply reply = decode_mask_reply(response.body);
+  reply.cache_hit = response.cache_hit;
+  return reply;
+}
+
+ScoreReply Client::score(const ScoreRequest& request) {
+  const Response response = roundtrip(encode_score_request(request));
+  ScoreReply reply = decode_score_reply(response.body);
+  reply.cache_hit = response.cache_hit;
+  return reply;
+}
+
+void Client::shutdown_server() {
+  (void)roundtrip(encode_shutdown_request());
+}
+
+}  // namespace polaris::server

@@ -1,0 +1,39 @@
+// Thin framed-protocol client for the POLARIS serve daemon. Used by the
+// `polaris_cli client` subcommands, the server tests, and bench_serve - one
+// implementation of the wire contract on the client side.
+#pragma once
+
+#include <string>
+
+#include "server/protocol.hpp"
+
+namespace polaris::server {
+
+class Client {
+ public:
+  /// Connects to a serving daemon. Throws std::runtime_error when nothing
+  /// listens on `socket_path`.
+  explicit Client(const std::string& socket_path);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Each call sends one request frame and blocks for the response frame.
+  /// An error response rethrows as ServerError (status + server message).
+  [[nodiscard]] PingReply ping();
+  [[nodiscard]] AuditReply audit(const AuditRequest& request);
+  [[nodiscard]] MaskReply mask(const MaskRequest& request);
+  [[nodiscard]] ScoreReply score(const ScoreRequest& request);
+  /// Asks the daemon to drain and exit. The acknowledgement arrives before
+  /// the server begins its drain, so the call returning means the request
+  /// was accepted, not that the process has exited.
+  void shutdown_server();
+
+ private:
+  Response roundtrip(std::span<const std::uint8_t> payload);
+
+  int fd_ = -1;
+};
+
+}  // namespace polaris::server

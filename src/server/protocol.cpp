@@ -1,0 +1,419 @@
+#include "server/protocol.hpp"
+
+#include <errno.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace polaris::server {
+
+namespace {
+
+// --- LeakageReport codec (t-values travel as IEEE-754 bit patterns) ---------
+
+void write_report(serialize::Writer& out, const tvla::LeakageReport& report) {
+  out.f64(report.threshold());
+  out.f64_vec(report.t_values());
+  std::vector<bool> measured(report.group_count());
+  for (std::size_t g = 0; g < measured.size(); ++g) {
+    measured[g] = report.measured(static_cast<netlist::GateId>(g));
+  }
+  out.bool_vec(measured);
+}
+
+tvla::LeakageReport read_report(serialize::Reader& in) {
+  const double threshold = in.f64();
+  auto t_values = in.f64_vec();
+  auto measured = in.bool_vec();
+  if (measured.size() != t_values.size()) {
+    throw std::runtime_error("polaris serve: leakage report size mismatch");
+  }
+  return tvla::LeakageReport(std::move(t_values), std::move(measured),
+                             threshold);
+}
+
+std::uint8_t read_mode(serialize::Reader& in) {
+  const std::uint8_t mode = in.u8();
+  if (mode > static_cast<std::uint8_t>(core::InferenceMode::kModelPlusRules)) {
+    throw std::runtime_error("polaris serve: unknown inference mode " +
+                             std::to_string(mode));
+  }
+  return mode;
+}
+
+std::vector<std::uint8_t> finish_request(serialize::Writer& out) {
+  return out.finish();
+}
+
+serialize::Writer request_header(RequestKind kind) {
+  serialize::Writer out;
+  out.begin_chunk("POLQ");
+  out.u8(static_cast<std::uint8_t>(kind));
+  out.end_chunk();
+  return out;
+}
+
+// --- low-level socket helpers ----------------------------------------------
+
+/// EAGAIN/EWOULDBLOCK (an SO_*TIMEO expiry) retries unless the probe says
+/// to abort - how a handler escapes a peer that stalls mid-transfer.
+void check_cancelled(const CancelProbe& cancelled, const char* what) {
+  if (cancelled && cancelled()) {
+    throw std::runtime_error(std::string("polaris serve: ") + what +
+                             " cancelled (shutdown while peer stalled)");
+  }
+}
+
+void write_all(int fd, const std::uint8_t* data, std::size_t size,
+               const CancelProbe& cancelled) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    // MSG_NOSIGNAL: a peer that disconnected before its response arrives
+    // must surface as EPIPE here, not as a process-killing SIGPIPE - one
+    // vanished client must never take the daemon (or the CLI) down.
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        check_cancelled(cancelled, "write");
+        continue;
+      }
+      throw std::runtime_error(std::string("polaris serve: socket write: ") +
+                               std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+/// Reads exactly `size` bytes. Returns false on EOF before the first byte
+/// when `eof_ok`; EOF mid-buffer always throws (torn frame).
+bool read_all(int fd, std::uint8_t* data, std::size_t size, bool eof_ok,
+              const CancelProbe& cancelled) {
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::read(fd, data + got, size - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        check_cancelled(cancelled, "read");
+        continue;
+      }
+      throw std::runtime_error(std::string("polaris serve: socket read: ") +
+                               std::strerror(errno));
+    }
+    if (n == 0) {
+      if (got == 0 && eof_ok) return false;
+      throw std::runtime_error("polaris serve: connection closed mid-frame");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* to_string(Status status) {
+  switch (status) {
+    case Status::kOk: return "ok";
+    case Status::kBadMagic: return "bad frame magic";
+    case Status::kBadVersion: return "unsupported protocol version";
+    case Status::kTooLarge: return "frame exceeds max-frame limit";
+    case Status::kBadPayload: return "malformed payload archive";
+    case Status::kBadRequest: return "bad request";
+    case Status::kServerError: return "server error";
+    case Status::kShuttingDown: return "server shutting down";
+  }
+  return "?";
+}
+
+// --- request codecs ---------------------------------------------------------
+
+std::vector<std::uint8_t> encode_ping_request() {
+  auto out = request_header(RequestKind::kPing);
+  return finish_request(out);
+}
+
+std::vector<std::uint8_t> encode_shutdown_request() {
+  auto out = request_header(RequestKind::kShutdown);
+  return finish_request(out);
+}
+
+std::vector<std::uint8_t> encode_audit_request(const AuditRequest& request) {
+  auto out = request_header(RequestKind::kAudit);
+  out.begin_chunk("AUDQ");
+  out.str(request.design);
+  out.f64(request.scale);
+  core::write_config(out, request.config);
+  out.end_chunk();
+  return finish_request(out);
+}
+
+std::vector<std::uint8_t> encode_mask_request(const MaskRequest& request) {
+  auto out = request_header(RequestKind::kMask);
+  out.begin_chunk("MSKQ");
+  out.str(request.design);
+  out.f64(request.scale);
+  out.u64(request.mask_size);
+  out.u8(static_cast<std::uint8_t>(request.mode));
+  out.boolean(request.verify);
+  out.end_chunk();
+  return finish_request(out);
+}
+
+std::vector<std::uint8_t> encode_score_request(const ScoreRequest& request) {
+  auto out = request_header(RequestKind::kScore);
+  out.begin_chunk("SCRQ");
+  out.str(request.design);
+  out.f64(request.scale);
+  out.u8(static_cast<std::uint8_t>(request.mode));
+  out.end_chunk();
+  return finish_request(out);
+}
+
+RequestKind decode_request_kind(serialize::Reader& in) {
+  in.enter_chunk("POLQ");
+  const std::uint8_t kind = in.u8();
+  in.exit_chunk();
+  if (kind > static_cast<std::uint8_t>(RequestKind::kShutdown)) {
+    throw std::runtime_error("polaris serve: unknown request kind " +
+                             std::to_string(kind));
+  }
+  return static_cast<RequestKind>(kind);
+}
+
+AuditRequest decode_audit_request(serialize::Reader& in) {
+  AuditRequest request;
+  in.enter_chunk("AUDQ");
+  request.design = in.str();
+  request.scale = in.f64();
+  request.config = core::read_config(in);
+  in.exit_chunk();
+  return request;
+}
+
+MaskRequest decode_mask_request(serialize::Reader& in) {
+  MaskRequest request;
+  in.enter_chunk("MSKQ");
+  request.design = in.str();
+  request.scale = in.f64();
+  request.mask_size = in.u64();
+  request.mode = static_cast<core::InferenceMode>(read_mode(in));
+  request.verify = in.boolean();
+  in.exit_chunk();
+  return request;
+}
+
+ScoreRequest decode_score_request(serialize::Reader& in) {
+  ScoreRequest request;
+  in.enter_chunk("SCRQ");
+  request.design = in.str();
+  request.scale = in.f64();
+  request.mode = static_cast<core::InferenceMode>(read_mode(in));
+  in.exit_chunk();
+  return request;
+}
+
+// --- reply codecs -----------------------------------------------------------
+
+std::vector<std::uint8_t> encode_ping_reply(const PingReply& reply) {
+  serialize::Writer out;
+  out.begin_chunk("PONG");
+  out.u32(reply.protocol);
+  out.str(reply.model_name);
+  out.u64(reply.config_fingerprint);
+  out.u64(reply.requests_served);
+  out.u64(reply.cache_hits);
+  out.u64(reply.cache_entries);
+  out.end_chunk();
+  return out.finish();
+}
+
+PingReply decode_ping_reply(std::span<const std::uint8_t> body) {
+  serialize::Reader in(std::vector<std::uint8_t>(body.begin(), body.end()));
+  PingReply reply;
+  in.enter_chunk("PONG");
+  reply.protocol = in.u32();
+  reply.model_name = in.str();
+  reply.config_fingerprint = in.u64();
+  reply.requests_served = in.u64();
+  reply.cache_hits = in.u64();
+  reply.cache_entries = in.u64();
+  in.exit_chunk();
+  return reply;
+}
+
+std::vector<std::uint8_t> encode_audit_reply(const AuditReply& reply) {
+  serialize::Writer out;
+  out.begin_chunk("AUDS");
+  out.str(reply.design_name);
+  out.u64(reply.gate_count);
+  out.u64(reply.traces);
+  write_report(out, reply.report);
+  out.end_chunk();
+  return out.finish();
+}
+
+AuditReply decode_audit_reply(std::span<const std::uint8_t> body) {
+  serialize::Reader in(std::vector<std::uint8_t>(body.begin(), body.end()));
+  in.enter_chunk("AUDS");
+  AuditReply reply;
+  reply.design_name = in.str();
+  reply.gate_count = in.u64();
+  reply.traces = in.u64();
+  reply.report = read_report(in);
+  in.exit_chunk();
+  return reply;
+}
+
+std::vector<std::uint8_t> encode_mask_reply(const MaskReply& reply) {
+  serialize::Writer out;
+  out.begin_chunk("MSKS");
+  out.str(reply.design_name);
+  out.u64(reply.gate_count);
+  out.u64(reply.masked_gate_count);
+  out.u64(reply.selected.size());
+  for (const auto gate : reply.selected) out.u32(gate);
+  out.f64(reply.seconds);
+  out.str(reply.verilog);
+  out.boolean(reply.before.has_value());
+  if (reply.before.has_value()) {
+    write_report(out, *reply.before);
+    write_report(out, *reply.after);
+  }
+  out.end_chunk();
+  return out.finish();
+}
+
+MaskReply decode_mask_reply(std::span<const std::uint8_t> body) {
+  serialize::Reader in(std::vector<std::uint8_t>(body.begin(), body.end()));
+  in.enter_chunk("MSKS");
+  MaskReply reply;
+  reply.design_name = in.str();
+  reply.gate_count = in.u64();
+  reply.masked_gate_count = in.u64();
+  const std::uint64_t selected = in.u64();
+  // Check-before-allocate: each gate id is 4 payload bytes.
+  if (selected > in.remaining() / 4) {
+    throw std::runtime_error("polaris serve: selected-gate count exceeds "
+                             "payload size");
+  }
+  reply.selected.reserve(selected);
+  for (std::uint64_t i = 0; i < selected; ++i) reply.selected.push_back(in.u32());
+  reply.seconds = in.f64();
+  reply.verilog = in.str();
+  if (in.boolean()) {
+    reply.before = read_report(in);
+    reply.after = read_report(in);
+  }
+  in.exit_chunk();
+  return reply;
+}
+
+std::vector<std::uint8_t> encode_score_reply(const ScoreReply& reply) {
+  serialize::Writer out;
+  out.begin_chunk("SCRS");
+  out.str(reply.design_name);
+  out.f64_vec(reply.scores);
+  out.end_chunk();
+  return out.finish();
+}
+
+ScoreReply decode_score_reply(std::span<const std::uint8_t> body) {
+  serialize::Reader in(std::vector<std::uint8_t>(body.begin(), body.end()));
+  in.enter_chunk("SCRS");
+  ScoreReply reply;
+  reply.design_name = in.str();
+  reply.scores = in.f64_vec();
+  in.exit_chunk();
+  return reply;
+}
+
+// --- response envelope ------------------------------------------------------
+
+std::vector<std::uint8_t> encode_response(Status status,
+                                          const std::string& message,
+                                          bool cache_hit,
+                                          std::span<const std::uint8_t> body) {
+  serialize::Writer out;
+  out.begin_chunk("POLS");
+  out.u8(static_cast<std::uint8_t>(status));
+  out.str(message);
+  out.boolean(cache_hit);
+  out.end_chunk();
+  if (!body.empty()) {
+    out.begin_chunk("BODY");
+    out.u8_vec(body);
+    out.end_chunk();
+  }
+  return out.finish();
+}
+
+Response decode_response(std::vector<std::uint8_t> payload) {
+  serialize::Reader in(std::move(payload));
+  Response response;
+  in.enter_chunk("POLS");
+  const std::uint8_t status = in.u8();
+  if (status > static_cast<std::uint8_t>(Status::kShuttingDown)) {
+    throw std::runtime_error("polaris serve: unknown status code " +
+                             std::to_string(status));
+  }
+  response.status = static_cast<Status>(status);
+  response.message = in.str();
+  response.cache_hit = in.boolean();
+  in.exit_chunk();
+  if (in.try_enter_chunk("BODY")) {
+    response.body = in.u8_vec();
+    in.exit_chunk();
+  }
+  return response;
+}
+
+// --- frame I/O --------------------------------------------------------------
+
+FrameResult read_frame(int fd, std::size_t max_frame,
+                       std::vector<std::uint8_t>& payload,
+                       const CancelProbe& cancelled) {
+  std::uint8_t header[kFrameHeaderSize];
+  if (!read_all(fd, header, sizeof(header), /*eof_ok=*/true, cancelled)) {
+    return FrameResult::kClosed;
+  }
+  if (std::memcmp(header, kFrameMagic, 4) != 0) return FrameResult::kBadMagic;
+  std::uint32_t version = 0;
+  for (int i = 0; i < 4; ++i) {
+    version |= static_cast<std::uint32_t>(header[4 + i]) << (8 * i);
+  }
+  if (version > kProtocolVersion) return FrameResult::kBadVersion;
+  std::uint64_t length = 0;
+  for (int i = 0; i < 8; ++i) {
+    length |= static_cast<std::uint64_t>(header[8 + i]) << (8 * i);
+  }
+  // The max-frame gate runs BEFORE the payload buffer exists: a corrupt or
+  // hostile length field never drives an allocation.
+  if (length > max_frame) return FrameResult::kTooLarge;
+  payload.resize(static_cast<std::size_t>(length));
+  if (length > 0) {
+    read_all(fd, payload.data(), payload.size(), /*eof_ok=*/false, cancelled);
+  }
+  return FrameResult::kFrame;
+}
+
+void write_frame(int fd, std::span<const std::uint8_t> payload,
+                 const CancelProbe& cancelled) {
+  std::uint8_t header[kFrameHeaderSize];
+  std::memcpy(header, kFrameMagic, 4);
+  for (int i = 0; i < 4; ++i) {
+    header[4 + i] = static_cast<std::uint8_t>(kProtocolVersion >> (8 * i));
+  }
+  const std::uint64_t length = payload.size();
+  for (int i = 0; i < 8; ++i) {
+    header[8 + i] = static_cast<std::uint8_t>(length >> (8 * i));
+  }
+  write_all(fd, header, sizeof(header), cancelled);
+  if (!payload.empty()) {
+    write_all(fd, payload.data(), payload.size(), cancelled);
+  }
+}
+
+}  // namespace polaris::server

@@ -1,0 +1,218 @@
+// Wire protocol of the POLARIS serve daemon (see DESIGN.md "Serve wire
+// protocol" for the normative spec).
+//
+// A connection carries a sequence of independent frames, each:
+//
+//   magic   "PLFR"  (4 bytes)
+//   version u32 LE  (kProtocolVersion; readers reject newer)
+//   length  u64 LE  (payload byte count; checked against the receiver's
+//                    max-frame limit BEFORE any allocation)
+//   payload         a complete serialize:: archive (own magic + CRC), so
+//                   payload decoding inherits the archive's endian safety,
+//                   corruption detection, and check-before-allocate
+//                   hardening for free.
+//
+// Request payload:  "POLQ" chunk (kind byte) + one kind-specific chunk.
+// Response payload: "POLS" chunk (status, message, cache_hit) + "BODY"
+// chunk wrapping the kind-specific reply as a nested archive. The nested
+// archive is exactly what the result cache stores, so a cache hit replays
+// byte-identical reply bytes.
+//
+// Error handling: a malformed frame gets a structured error RESPONSE
+// (status != kOk) rather than a dropped connection. Errors that leave the
+// byte stream unsynchronizable (bad magic, future version, oversized
+// length) are answered and then the connection is closed; payload-level
+// errors (archive CRC mismatch, unknown request kind) keep it open - the
+// framing was intact, so the next frame boundary is known.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/polaris.hpp"
+#include "netlist/netlist.hpp"
+#include "serialize/archive.hpp"
+#include "tvla/tvla.hpp"
+
+namespace polaris::server {
+
+inline constexpr char kFrameMagic[4] = {'P', 'L', 'F', 'R'};
+inline constexpr std::uint32_t kProtocolVersion = 1;
+inline constexpr std::size_t kFrameHeaderSize = 16;
+/// Default --max-frame: generous for netlist-sized payloads, small enough
+/// that a corrupt length field cannot drive a multi-GiB allocation.
+inline constexpr std::size_t kDefaultMaxFrame = std::size_t{64} << 20;
+
+enum class RequestKind : std::uint8_t {
+  kPing = 0,
+  kAudit = 1,
+  kMask = 2,
+  kScore = 3,
+  kShutdown = 4,
+};
+
+/// On-the-wire status codes (append-only, like every on-disk enum).
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kBadMagic = 1,     // frame header did not start with "PLFR"
+  kBadVersion = 2,   // frame protocol version newer than this server
+  kTooLarge = 3,     // declared payload length exceeds --max-frame
+  kBadPayload = 4,   // payload archive failed to parse (CRC, truncation)
+  kBadRequest = 5,   // well-formed payload, invalid request (bad design...)
+  kServerError = 6,  // request failed while executing
+  kShuttingDown = 7, // server is draining; request not accepted
+};
+
+[[nodiscard]] const char* to_string(Status status);
+
+/// An error reply from the server, rethrown client-side. Inherits
+/// std::runtime_error so every served failure exits 1 from the CLI -
+/// exactly like its offline counterpart (an unknown design is a runtime
+/// failure there too; only flag misuse exits 2).
+struct ServerError : std::runtime_error {
+  ServerError(Status status, const std::string& message)
+      : std::runtime_error(message), status(status) {}
+  Status status;
+};
+
+// --- requests ---------------------------------------------------------------
+
+struct AuditRequest {
+  std::string design;  // suite name or .v path, resolved server-side
+  double scale = 1.0;
+  /// Full config: the audit result depends on the TVLA knobs and seed, so
+  /// the request carries exactly what the offline CLI would have built.
+  core::PolarisConfig config;
+};
+
+struct MaskRequest {
+  std::string design;
+  double scale = 1.0;
+  std::size_t mask_size = 0;  // 0 = the bundle's configured Msize
+  core::InferenceMode mode = core::InferenceMode::kModel;
+  bool verify = false;  // before/after TVLA sign-off on top
+};
+
+struct ScoreRequest {
+  std::string design;
+  double scale = 1.0;
+  core::InferenceMode mode = core::InferenceMode::kModel;
+};
+
+// --- replies ----------------------------------------------------------------
+
+struct PingReply {
+  std::uint32_t protocol = kProtocolVersion;
+  std::string model_name;
+  std::uint64_t config_fingerprint = 0;
+  std::uint64_t requests_served = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_entries = 0;
+};
+
+struct AuditReply {
+  std::string design_name;
+  std::uint64_t gate_count = 0;
+  std::uint64_t traces = 0;
+  tvla::LeakageReport report{{}, {}, 0.0};
+  bool cache_hit = false;
+};
+
+struct MaskReply {
+  std::string design_name;
+  std::uint64_t gate_count = 0;         // original design
+  std::uint64_t masked_gate_count = 0;  // after composite insertion
+  std::vector<netlist::GateId> selected;
+  double seconds = 0.0;  // inference + rewrite, measured at compute time
+  std::string verilog;   // the masked netlist, exactly what mask would write
+  std::optional<tvla::LeakageReport> before;  // only when verify was set
+  std::optional<tvla::LeakageReport> after;
+  bool cache_hit = false;
+};
+
+struct ScoreReply {
+  std::string design_name;
+  std::vector<double> scores;  // per gate id, non-maskable = 0
+  bool cache_hit = false;
+};
+
+// --- payload codecs ---------------------------------------------------------
+
+/// Request payload archives. decode_request_kind reads the "POLQ" chunk;
+/// the kind-specific decoder must then be called on the same reader.
+[[nodiscard]] std::vector<std::uint8_t> encode_ping_request();
+[[nodiscard]] std::vector<std::uint8_t> encode_shutdown_request();
+[[nodiscard]] std::vector<std::uint8_t> encode_audit_request(const AuditRequest& request);
+[[nodiscard]] std::vector<std::uint8_t> encode_mask_request(const MaskRequest& request);
+[[nodiscard]] std::vector<std::uint8_t> encode_score_request(const ScoreRequest& request);
+
+[[nodiscard]] RequestKind decode_request_kind(serialize::Reader& in);
+[[nodiscard]] AuditRequest decode_audit_request(serialize::Reader& in);
+[[nodiscard]] MaskRequest decode_mask_request(serialize::Reader& in);
+[[nodiscard]] ScoreRequest decode_score_request(serialize::Reader& in);
+
+/// Reply BODY archives (the nested archive the result cache stores).
+[[nodiscard]] std::vector<std::uint8_t> encode_ping_reply(const PingReply& reply);
+[[nodiscard]] std::vector<std::uint8_t> encode_audit_reply(const AuditReply& reply);
+[[nodiscard]] std::vector<std::uint8_t> encode_mask_reply(const MaskReply& reply);
+[[nodiscard]] std::vector<std::uint8_t> encode_score_reply(const ScoreReply& reply);
+
+[[nodiscard]] PingReply decode_ping_reply(std::span<const std::uint8_t> body);
+[[nodiscard]] AuditReply decode_audit_reply(std::span<const std::uint8_t> body);
+[[nodiscard]] MaskReply decode_mask_reply(std::span<const std::uint8_t> body);
+[[nodiscard]] ScoreReply decode_score_reply(std::span<const std::uint8_t> body);
+
+/// Full response payload: POLS header (status/message/cache_hit) + BODY.
+/// `body` may be empty for error responses and ping-less bodies.
+[[nodiscard]] std::vector<std::uint8_t> encode_response(
+    Status status, const std::string& message, bool cache_hit,
+    std::span<const std::uint8_t> body);
+
+struct Response {
+  Status status = Status::kOk;
+  std::string message;
+  bool cache_hit = false;
+  std::vector<std::uint8_t> body;  // nested reply archive (empty on error)
+};
+[[nodiscard]] Response decode_response(std::vector<std::uint8_t> payload);
+
+// --- frame I/O over a connected socket --------------------------------------
+
+/// Outcome of read_frame: distinguishes "peer closed cleanly between
+/// frames" from "frame arrived" and from header-level protocol errors.
+enum class FrameResult : std::uint8_t {
+  kFrame,       // payload filled in
+  kClosed,      // EOF at a frame boundary (clean close)
+  kBadMagic,    // header corrupt: connection cannot be resynchronized
+  kBadVersion,  // protocol newer than ours: drop after replying
+  kTooLarge,    // declared length above max_frame: drop after replying
+};
+
+/// Optional cancellation probe for the blocking frame I/O below. It is
+/// consulted whenever a read/write times out (which requires the fd to
+/// carry SO_RCVTIMEO/SO_SNDTIMEO - the server sets both on every accepted
+/// connection); returning true aborts the transfer with
+/// std::runtime_error. A stalled peer can therefore never pin a handler
+/// thread across a shutdown drain.
+using CancelProbe = std::function<bool()>;
+
+/// Reads one frame. Blocks until a full frame, clean EOF, or error; the
+/// payload buffer is only allocated after the declared length passes the
+/// `max_frame` check. Throws std::runtime_error on socket I/O errors,
+/// mid-frame EOF (torn frame - nothing to answer), or cancellation.
+[[nodiscard]] FrameResult read_frame(int fd, std::size_t max_frame,
+                                     std::vector<std::uint8_t>& payload,
+                                     const CancelProbe& cancelled = {});
+
+/// Writes one frame (header + payload). Throws std::runtime_error on
+/// socket errors or cancellation.
+void write_frame(int fd, std::span<const std::uint8_t> payload,
+                 const CancelProbe& cancelled = {});
+
+}  // namespace polaris::server

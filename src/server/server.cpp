@@ -1,0 +1,439 @@
+#include "server/server.hpp"
+
+#include <errno.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <initializer_list>
+#include <utility>
+
+#include "netlist/verilog.hpp"
+
+namespace polaris::server {
+
+namespace {
+
+/// Poll interval for connection handlers: the latency bound on noticing a
+/// stop request while a client holds an idle connection open. The same
+/// interval is set as SO_RCVTIMEO/SO_SNDTIMEO on every accepted socket, so
+/// a peer that stalls MID-frame also cannot pin a handler across a drain
+/// (the frame I/O layer re-checks its cancel probe on every timeout).
+constexpr int kHandlerPollMs = 100;
+
+/// Accept-loop poll interval: bounds how long a finished connection's
+/// thread lingers before being reaped.
+constexpr int kAcceptPollMs = 500;
+
+/// True when a daemon is actively listening on `socket_path` (a connect
+/// attempt succeeds). Distinguishes a live socket from a stale file left
+/// by a crashed process.
+bool socket_is_live(const sockaddr_un& addr) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  const bool live = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                              sizeof(addr)) == 0;
+  ::close(fd);
+  return live;
+}
+
+std::uint64_t combine_all(std::uint64_t key,
+                          std::initializer_list<std::uint64_t> values) {
+  for (const auto value : values) key = core::ResultCache::combine(key, value);
+  return key;
+}
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error("polaris serve: " + what + ": " +
+                           std::strerror(errno));
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      scheduler_(options_.threads),
+      cache_(options_.cache_capacity) {
+  polaris_ = core::Polaris::load_bundle(options_.bundle_path, &info_);
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.empty() ||
+      options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error(
+        "polaris serve: socket path must be 1.." +
+        std::to_string(sizeof(addr.sun_path) - 1) + " characters, got '" +
+        options_.socket_path + "'");
+  }
+  std::memcpy(addr.sun_path, options_.socket_path.c_str(),
+              options_.socket_path.size() + 1);
+
+  // Replace a STALE socket file only: silently unlinking a live daemon's
+  // socket would hijack its clients while it keeps running invisibly.
+  if (socket_is_live(addr)) {
+    throw std::runtime_error("polaris serve: a daemon is already serving on '" +
+                             options_.socket_path + "'");
+  }
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw_errno("socket");
+  ::unlink(options_.socket_path.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    errno = saved;
+    throw_errno("bind '" + options_.socket_path + "'");
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(options_.socket_path.c_str());
+    errno = saved;
+    throw_errno("listen");
+  }
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(options_.socket_path.c_str());
+    throw_errno("pipe");
+  }
+  wake_read_fd_ = pipe_fds[0];
+  wake_write_fd_ = pipe_fds[1];
+}
+
+Server::~Server() {
+  if (started_) {
+    request_stop();
+    wait();
+  } else if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    ::unlink(options_.socket_path.c_str());
+  }
+  if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
+  if (wake_write_fd_ >= 0) ::close(wake_write_fd_);
+}
+
+void Server::start() {
+  if (started_) throw std::logic_error("polaris serve: start() called twice");
+  started_ = true;
+  accept_thread_ = std::thread(&Server::accept_loop, this);
+}
+
+void Server::request_stop() {
+  // One write to a pipe: async-signal-safe, so SIGINT/SIGTERM handlers can
+  // call this directly. The accept loop owns all the non-signal-safe work.
+  const std::uint8_t byte = 1;
+  (void)!::write(wake_write_fd_, &byte, 1);
+}
+
+void Server::wait() {
+  if (accept_thread_.joinable()) accept_thread_.join();
+}
+
+ServerStats Server::stats() const {
+  ServerStats stats;
+  stats.requests_served = requests_served_.load();
+  stats.cache_hits = cache_.hits();
+  stats.cache_misses = cache_.misses();
+  stats.cache_entries = cache_.size();
+  stats.connections = connections_accepted_.load();
+  return stats;
+}
+
+void Server::accept_loop() {
+  for (;;) {
+    reap_finished_connections();
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_read_fd_, POLLIN, 0}};
+    const int ready = ::poll(fds, 2, kAcceptPollMs);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;  // reap tick
+    if ((fds[1].revents & (POLLIN | POLLERR | POLLHUP)) != 0) break;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;
+    }
+    // Timeouts make the frame I/O loops re-check the handler's cancel
+    // probe, so a peer stalling mid-frame cannot pin the handler.
+    timeval timeout{};
+    timeout.tv_usec = kHandlerPollMs * 1000;
+    (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    (void)::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+    connections_accepted_.fetch_add(1);
+    auto connection = std::make_unique<Connection>();
+    Connection* raw = connection.get();
+    {
+      const std::lock_guard<std::mutex> lock(connections_mutex_);
+      connections_.push_back(std::move(connection));
+    }
+    raw->thread = std::thread([this, fd, raw] {
+      handle_connection(fd);
+      raw->done.store(true);
+    });
+  }
+
+  // Graceful drain: stop accepting, let every handler finish its in-flight
+  // request (handlers notice stopping_ within kHandlerPollMs), then remove
+  // the socket file so "zero leaked sockets" is checkable from outside.
+  stopping_.store(true);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::unlink(options_.socket_path.c_str());
+  std::vector<std::unique_ptr<Connection>> remaining;
+  {
+    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    remaining.swap(connections_);
+  }
+  for (auto& connection : remaining) {
+    if (connection->thread.joinable()) connection->thread.join();
+  }
+}
+
+void Server::reap_finished_connections() {
+  std::vector<std::unique_ptr<Connection>> finished;
+  {
+    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    auto& live = connections_;
+    for (auto it = live.begin(); it != live.end();) {
+      if ((*it)->done.load()) {
+        finished.push_back(std::move(*it));
+        it = live.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  // Joining outside the lock: done was set by the handler's last action,
+  // so these joins return immediately.
+  for (auto& connection : finished) {
+    if (connection->thread.joinable()) connection->thread.join();
+  }
+}
+
+void Server::handle_connection(int fd) {
+  // Consulted by the frame I/O loops on every socket timeout: a peer that
+  // stalls mid-frame cannot hold this handler across a shutdown drain.
+  const CancelProbe stop_probe = [this] { return stopping_.load(); };
+  std::vector<std::uint8_t> payload;
+  try {
+    for (;;) {
+      // Idle waiting happens INSIDE read_frame: the socket's SO_RCVTIMEO
+      // expires every kHandlerPollMs and the probe is re-checked, so both
+      // an idle connection and a mid-frame stall notice a drain through
+      // the same mechanism (the probe throws; the catch below closes).
+      const FrameResult result =
+          read_frame(fd, options_.max_frame, payload, stop_probe);
+      if (result == FrameResult::kClosed) break;
+      if (result != FrameResult::kFrame) {
+        // Header-level failure: answer with a structured error frame, then
+        // close - after a bad magic or an untrusted length field the byte
+        // stream has no trustworthy next frame boundary.
+        const Status status = result == FrameResult::kBadMagic
+                                  ? Status::kBadMagic
+                                  : result == FrameResult::kBadVersion
+                                        ? Status::kBadVersion
+                                        : Status::kTooLarge;
+        write_frame(fd,
+                    encode_response(status, to_string(status),
+                                    /*cache_hit=*/false, {}),
+                    stop_probe);
+        requests_served_.fetch_add(1);
+        break;
+      }
+      if (!handle_payload(fd, payload)) break;
+    }
+  } catch (const std::exception&) {
+    // Torn frame or socket error: there is no answerable request and no
+    // usable stream; dropping this one connection is the contract.
+  }
+  ::close(fd);
+}
+
+bool Server::handle_payload(int fd, std::vector<std::uint8_t>& payload) {
+  Status status = Status::kOk;
+  std::string message;
+  bool cache_hit = false;
+  bool keep_open = true;
+  core::ResultCache::Body body;
+  try {
+    serialize::Reader in(std::move(payload));
+    const RequestKind kind = decode_request_kind(in);
+    if (stopping_.load() && kind != RequestKind::kPing &&
+        kind != RequestKind::kShutdown) {
+      throw ServerError(Status::kShuttingDown, to_string(Status::kShuttingDown));
+    }
+    switch (kind) {
+      case RequestKind::kPing: body = serve_ping(); break;
+      case RequestKind::kAudit: body = serve_audit(in, cache_hit); break;
+      case RequestKind::kMask: body = serve_mask(in, cache_hit); break;
+      case RequestKind::kScore: body = serve_score(in, cache_hit); break;
+      case RequestKind::kShutdown:
+        keep_open = false;
+        request_stop();
+        break;
+    }
+  } catch (const ServerError& error) {
+    status = error.status;
+    message = error.what();
+    body.reset();
+  } catch (const std::exception& error) {
+    // Anything the decode layer threw: the frame arrived intact but its
+    // payload archive or request structure did not parse.
+    status = Status::kBadPayload;
+    message = error.what();
+    body.reset();
+  }
+  // The probe only fires on a send timeout: a cooperating client (blocked
+  // in read) always gets its in-flight response, even mid-drain; only a
+  // stalled peer with a full buffer is dropped.
+  const std::span<const std::uint8_t> body_span =
+      body ? std::span<const std::uint8_t>(*body)
+           : std::span<const std::uint8_t>();
+  write_frame(fd, encode_response(status, message, cache_hit, body_span),
+              [this] { return stopping_.load(); });
+  requests_served_.fetch_add(1);
+  return keep_open;
+}
+
+core::ResultCache::Body Server::serve_ping() {
+  PingReply reply;
+  reply.model_name = info_.model_name;
+  reply.config_fingerprint = info_.config_fingerprint;
+  reply.requests_served = requests_served_.load();
+  reply.cache_hits = cache_.hits();
+  reply.cache_entries = cache_.size();
+  return std::make_shared<const std::vector<std::uint8_t>>(
+      encode_ping_reply(reply));
+}
+
+core::ResultCache::Body Server::serve_audit(serialize::Reader& in,
+                                            bool& cache_hit) {
+  const AuditRequest request = decode_audit_request(in);
+  circuits::Design design;
+  try {
+    core::validate(request.config);
+    design = circuits::load_design(request.design, request.scale);
+  } catch (const std::exception& error) {
+    throw ServerError(Status::kBadRequest, error.what());
+  }
+  const std::uint64_t key = combine_all(
+      core::config_fingerprint(request.config),
+      {core::design_fingerprint(design),
+       static_cast<std::uint64_t>(RequestKind::kAudit)});
+  if (auto cached = cache_.get(key)) {
+    cache_hit = true;
+    return cached;
+  }
+  try {
+    auto pending = core::submit_audits(scheduler_, {&design, 1}, lib_,
+                                       request.config);
+    scheduler_.drain();
+    AuditReply reply;
+    reply.design_name = design.name;
+    reply.gate_count = design.netlist.gate_count();
+    reply.traces = request.config.tvla.traces;
+    reply.report = pending[0].get();
+    auto body = std::make_shared<const std::vector<std::uint8_t>>(
+        encode_audit_reply(reply));
+    cache_.put(key, body);
+    return body;
+  } catch (const std::exception& error) {
+    throw ServerError(Status::kServerError, error.what());
+  }
+}
+
+core::ResultCache::Body Server::serve_mask(serialize::Reader& in,
+                                           bool& cache_hit) {
+  const MaskRequest request = decode_mask_request(in);
+  circuits::Design design;
+  try {
+    design = circuits::load_design(request.design, request.scale);
+  } catch (const std::exception& error) {
+    throw ServerError(Status::kBadRequest, error.what());
+  }
+  const std::size_t mask_size =
+      request.mask_size != 0 ? request.mask_size : polaris_.config().mask_size;
+  const std::uint64_t key = combine_all(
+      info_.config_fingerprint,
+      {core::design_fingerprint(design),
+       static_cast<std::uint64_t>(RequestKind::kMask), mask_size,
+       static_cast<std::uint64_t>(request.mode),
+       static_cast<std::uint64_t>(request.verify)});
+  if (auto cached = cache_.get(key)) {
+    cache_hit = true;
+    return cached;
+  }
+  try {
+    auto outcome = polaris_.mask_design(design, lib_, mask_size, request.mode,
+                                        /*verify=*/false);
+    MaskReply reply;
+    reply.design_name = design.name;
+    reply.gate_count = design.netlist.gate_count();
+    reply.masked_gate_count = outcome.masked.gate_count();
+    reply.selected = std::move(outcome.selected);
+    reply.seconds = outcome.seconds;
+    reply.verilog = netlist::to_verilog(outcome.masked);
+    if (request.verify) {
+      // Sign-off campaigns (before on the original, after on the masked
+      // netlist) drain the shared queue together, interleaved with every
+      // other client's shards.
+      const auto tvla_config = core::tvla_config_for(polaris_.config(), design);
+      auto before = tvla::submit_fixed_vs_random(scheduler_, design.netlist,
+                                                 lib_, tvla_config);
+      auto after = tvla::submit_fixed_vs_random(scheduler_, outcome.masked,
+                                                lib_, tvla_config);
+      scheduler_.drain();
+      reply.before = before.get();
+      reply.after = after.get();
+    }
+    auto body = std::make_shared<const std::vector<std::uint8_t>>(
+        encode_mask_reply(reply));
+    cache_.put(key, body);
+    return body;
+  } catch (const std::exception& error) {
+    throw ServerError(Status::kServerError, error.what());
+  }
+}
+
+core::ResultCache::Body Server::serve_score(serialize::Reader& in,
+                                            bool& cache_hit) {
+  const ScoreRequest request = decode_score_request(in);
+  circuits::Design design;
+  try {
+    design = circuits::load_design(request.design, request.scale);
+  } catch (const std::exception& error) {
+    throw ServerError(Status::kBadRequest, error.what());
+  }
+  const std::uint64_t key = combine_all(
+      info_.config_fingerprint,
+      {core::design_fingerprint(design),
+       static_cast<std::uint64_t>(RequestKind::kScore),
+       static_cast<std::uint64_t>(request.mode)});
+  if (auto cached = cache_.get(key)) {
+    cache_hit = true;
+    return cached;
+  }
+  try {
+    ScoreReply reply;
+    reply.design_name = design.name;
+    reply.scores = polaris_.score_gates(design, request.mode);
+    auto body = std::make_shared<const std::vector<std::uint8_t>>(
+        encode_score_reply(reply));
+    cache_.put(key, body);
+    return body;
+  } catch (const std::exception& error) {
+    throw ServerError(Status::kServerError, error.what());
+  }
+}
+
+}  // namespace polaris::server

@@ -1,0 +1,124 @@
+// The POLARIS masking daemon: load a .plb bundle once, serve audit / mask /
+// score requests over a Unix-domain socket for the lifetime of the process.
+//
+// polaris_cli pays a process launch, a bundle load, and cold caches on
+// every invocation; the daemon pays them once. Every connection gets its
+// own handler thread, but all TVLA work funnels into ONE engine::Scheduler
+// - concurrent clients' campaign shards interleave in a single LPT queue,
+// so a small audit rides in a big one's idle lanes exactly as multi-design
+// offline audits do. Repeated requests for an unchanged design hit the
+// core::ResultCache and replay byte-identical reply bodies.
+//
+// Shutdown is graceful: request_stop() (async-signal-safe: one write to a
+// pipe) stops the accept loop; in-flight requests run to completion and
+// their responses are delivered before wait() returns and the socket file
+// is unlinked.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/polaris.hpp"
+#include "core/result_cache.hpp"
+#include "engine/scheduler.hpp"
+#include "server/protocol.hpp"
+#include "techlib/techlib.hpp"
+
+namespace polaris::server {
+
+struct ServerOptions {
+  std::string socket_path;  // Unix-domain socket (<= ~100 chars on Linux)
+  std::string bundle_path;  // trained .plb bundle, loaded once at startup
+  std::size_t threads = 0;  // scheduler fan-out: 0 = all hardware threads
+  std::size_t max_frame = kDefaultMaxFrame;  // per-frame payload cap, bytes
+  std::size_t cache_capacity = 256;          // result-cache entries
+};
+
+struct ServerStats {
+  std::uint64_t requests_served = 0;  // responses sent, errors included
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_entries = 0;
+  std::uint64_t connections = 0;  // accepted over the lifetime
+};
+
+class Server {
+ public:
+  /// Loads the bundle and binds + listens on the socket (replacing a stale
+  /// socket file). Throws std::runtime_error on a bad bundle or bind
+  /// failure. No requests are served until start().
+  explicit Server(ServerOptions options);
+  /// Stops (as request_stop + wait) if still running, then closes fds.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Spawns the accept loop. Call once.
+  void start();
+
+  /// Initiates a graceful stop: no new connections, in-flight requests
+  /// complete. Async-signal-safe (a single write to an internal pipe), so
+  /// SIGINT/SIGTERM handlers may call it directly. Idempotent.
+  void request_stop();
+
+  /// Blocks until the accept loop and every connection handler have
+  /// exited (after request_stop, or a served shutdown request). The socket
+  /// file is unlinked before wait() returns.
+  void wait();
+
+  [[nodiscard]] ServerStats stats() const;
+  [[nodiscard]] const core::BundleInfo& bundle_info() const { return info_; }
+  [[nodiscard]] const std::string& socket_path() const {
+    return options_.socket_path;
+  }
+
+ private:
+  /// One accepted connection: its handler thread plus a completion flag
+  /// the accept loop reaps on (a long-lived daemon must not accumulate a
+  /// dead thread per past connection).
+  struct Connection {
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void accept_loop();
+  /// Joins and discards connections whose handlers have finished. Only
+  /// ever called from the accept thread.
+  void reap_finished_connections();
+  void handle_connection(int fd);
+  /// Decodes and serves one request payload. Returns false when the
+  /// connection should close (a served shutdown request).
+  bool handle_payload(int fd, std::vector<std::uint8_t>& payload);
+
+  core::ResultCache::Body serve_ping();
+  core::ResultCache::Body serve_audit(serialize::Reader& in, bool& cache_hit);
+  core::ResultCache::Body serve_mask(serialize::Reader& in, bool& cache_hit);
+  core::ResultCache::Body serve_score(serialize::Reader& in, bool& cache_hit);
+
+  ServerOptions options_;
+  core::Polaris polaris_;
+  core::BundleInfo info_;
+  techlib::TechLibrary lib_ = techlib::TechLibrary::default_library();
+  engine::Scheduler scheduler_;
+  core::ResultCache cache_;
+
+  int listen_fd_ = -1;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> requests_served_{0};
+  std::atomic<std::uint64_t> connections_accepted_{0};
+
+  std::thread accept_thread_;
+  std::mutex connections_mutex_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+  bool started_ = false;
+};
+
+}  // namespace polaris::server

@@ -1,0 +1,44 @@
+#include "util/fileio.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+
+namespace polaris::util {
+
+void write_file_atomic(const std::string& path, std::string_view contents) {
+  // The temp name carries the pid and a process-wide counter so concurrent
+  // writers (server request threads, parallel CI jobs) never collide.
+  static std::atomic<std::uint64_t> counter{0};
+  const std::filesystem::path target(path);
+  const auto dir = target.parent_path();
+  const std::filesystem::path temp =
+      (dir.empty() ? std::filesystem::path(".") : dir) /
+      (target.filename().string() + ".tmp." +
+       std::to_string(static_cast<unsigned long>(::getpid())) + "." +
+       std::to_string(counter.fetch_add(1)));
+
+  std::FILE* file = std::fopen(temp.c_str(), "wb");
+  if (file == nullptr) {
+    throw std::runtime_error("cannot open for write: " + temp.string());
+  }
+  const std::size_t written =
+      contents.empty() ? 0 : std::fwrite(contents.data(), 1, contents.size(), file);
+  const int close_result = std::fclose(file);  // unconditionally: no FD leak
+  if (written != contents.size() || close_result != 0) {
+    std::remove(temp.c_str());
+    throw std::runtime_error("write failed: " + temp.string());
+  }
+  std::error_code error;
+  std::filesystem::rename(temp, target, error);
+  if (error) {
+    std::remove(temp.c_str());
+    throw std::runtime_error("cannot rename " + temp.string() + " over " +
+                             path + ": " + error.message());
+  }
+}
+
+}  // namespace polaris::util

@@ -1,0 +1,19 @@
+// Atomic whole-file writes. The masked-netlist outputs (`polaris_cli
+// mask`, `polaris_cli client mask`, the server's own artifacts) must never
+// leave a truncated file behind: a downstream ASIC flow picking up a
+// half-written .v is worse than no file at all.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace polaris::util {
+
+/// Writes `contents` to `path` atomically: a uniquely-named temp file in
+/// the SAME directory (rename(2) is only atomic within a filesystem),
+/// flushed and closed, then renamed over the target. On any failure the
+/// temp file is removed and std::runtime_error is thrown; the target is
+/// either untouched or fully replaced, never truncated.
+void write_file_atomic(const std::string& path, std::string_view contents);
+
+}  // namespace polaris::util

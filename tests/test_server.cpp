@@ -1,0 +1,555 @@
+// The serve daemon end to end over real Unix-domain sockets: served
+// audit/mask/score responses must be bit-identical to the offline library
+// path at every thread count, the result cache must replay identical
+// bytes, malformed frames must be answered (not dropped) without killing
+// the daemon, and a stop request must drain in-flight work cleanly.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <bit>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <thread>
+
+#include "circuits/aes_sbox.hpp"
+#include "circuits/arith.hpp"
+#include "circuits/suite.hpp"
+#include "core/polaris.hpp"
+#include "netlist/verilog.hpp"
+#include "server/client.hpp"
+#include "server/server.hpp"
+#include "techlib/techlib.hpp"
+#include "tvla/tvla.hpp"
+
+namespace {
+
+using namespace polaris;
+
+const techlib::TechLibrary& lib() {
+  static const auto instance = techlib::TechLibrary::default_library();
+  return instance;
+}
+
+core::PolarisConfig train_config() {
+  core::PolarisConfig config;
+  config.mask_size = 30;
+  config.iterations = 2;
+  config.locality = 5;
+  config.tvla.traces = 512;
+  config.tvla.noise_std_fj = 1.0;
+  config.model_rounds = 40;
+  config.seed = 3;
+  return config;
+}
+
+/// The audit request config the tests reuse (thread knobs never change
+/// results, so every comparison below is exact).
+core::PolarisConfig audit_config() {
+  core::PolarisConfig config = train_config();
+  config.tvla.traces = 512;
+  config.seed = 7;
+  config.tvla.seed = 7;
+  return config;
+}
+
+std::string unique_socket_path() {
+  // Keep it short: sun_path caps out near 108 characters, and gtest's
+  // TempDir can be long.
+  static std::atomic<int> counter{0};
+  return "/tmp/polaris_srv_" + std::to_string(::getpid()) + "_" +
+         std::to_string(counter.fetch_add(1)) + ".sock";
+}
+
+void expect_reports_bit_identical(const tvla::LeakageReport& a,
+                                  const tvla::LeakageReport& b) {
+  ASSERT_EQ(a.t_values().size(), b.t_values().size());
+  for (std::size_t g = 0; g < a.t_values().size(); ++g) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a.t_values()[g]),
+              std::bit_cast<std::uint64_t>(b.t_values()[g]))
+        << "group " << g;
+    EXPECT_EQ(a.measured(static_cast<netlist::GateId>(g)),
+              b.measured(static_cast<netlist::GateId>(g)));
+  }
+  EXPECT_EQ(a.threshold(), b.threshold());
+}
+
+/// Raw connected socket for the malformed-frame tests (the Client class
+/// only ever emits well-formed frames).
+int raw_connect(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+void send_all(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::write(fd, data + sent, size - sent);
+    ASSERT_GT(n, 0);
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+/// A complete ping request frame (header + payload) as raw bytes.
+std::vector<std::uint8_t> ping_frame_bytes() {
+  const auto payload = server::encode_ping_request();
+  std::vector<std::uint8_t> frame(server::kFrameHeaderSize + payload.size());
+  std::memcpy(frame.data(), server::kFrameMagic, 4);
+  for (int i = 0; i < 4; ++i) {
+    frame[4 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(server::kProtocolVersion >> (8 * i));
+  }
+  const std::uint64_t length = payload.size();
+  for (int i = 0; i < 8; ++i) {
+    frame[8 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(length >> (8 * i));
+  }
+  std::memcpy(frame.data() + server::kFrameHeaderSize, payload.data(),
+              payload.size());
+  return frame;
+}
+
+/// Reads the server's response on a raw socket and returns its status.
+server::Status read_status(int fd) {
+  std::vector<std::uint8_t> payload;
+  const auto result =
+      server::read_frame(fd, server::kDefaultMaxFrame, payload);
+  EXPECT_EQ(result, server::FrameResult::kFrame);
+  return server::decode_response(std::move(payload)).status;
+}
+
+class ServerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto* polaris = new core::Polaris(train_config());
+    std::vector<circuits::Design> training;
+    {
+      circuits::Design d{"sbox1", circuits::make_aes_sbox_layer(1), {}};
+      d.roles.assign(d.netlist.primary_inputs().size(),
+                     circuits::InputRole::kData);
+      training.push_back(std::move(d));
+    }
+    {
+      circuits::Design d{"mult6", circuits::make_multiplier(6), {}};
+      d.roles.assign(d.netlist.primary_inputs().size(),
+                     circuits::InputRole::kData);
+      training.push_back(std::move(d));
+    }
+    (void)polaris->train(training, lib());
+    bundle_path_ = new std::string(::testing::TempDir() + "serve_test.plb");
+    polaris->save_bundle(*bundle_path_);
+    polaris_ = polaris;
+  }
+  static void TearDownTestSuite() {
+    std::remove(bundle_path_->c_str());
+    delete bundle_path_;
+    delete polaris_;
+    bundle_path_ = nullptr;
+    polaris_ = nullptr;
+  }
+
+  static std::unique_ptr<server::Server> make_server(
+      std::size_t threads, std::size_t max_frame = server::kDefaultMaxFrame) {
+    server::ServerOptions options;
+    options.socket_path = unique_socket_path();
+    options.bundle_path = *bundle_path_;
+    options.threads = threads;
+    options.max_frame = max_frame;
+    auto daemon = std::make_unique<server::Server>(options);
+    daemon->start();
+    return daemon;
+  }
+
+  static core::Polaris* polaris_;
+  static std::string* bundle_path_;
+};
+
+core::Polaris* ServerTest::polaris_ = nullptr;
+std::string* ServerTest::bundle_path_ = nullptr;
+
+// --- bit-identity vs the offline path ---------------------------------------
+
+TEST_F(ServerTest, AuditIsBitIdenticalToOfflineAtEveryThreadCount) {
+  const auto config = audit_config();
+  const auto design = circuits::load_design("des3", 0.3);
+  const auto expected = tvla::run_fixed_vs_random(
+      design.netlist, lib(), core::tvla_config_for(config, design));
+
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    auto daemon = make_server(threads);
+    server::Client client(daemon->socket_path());
+    server::AuditRequest request;
+    request.design = "des3";
+    request.scale = 0.3;
+    request.config = config;
+    const auto reply = client.audit(request);
+    EXPECT_EQ(reply.design_name, "des3");
+    EXPECT_EQ(reply.gate_count, design.netlist.gate_count());
+    EXPECT_FALSE(reply.cache_hit);
+    expect_reports_bit_identical(reply.report, expected);
+    daemon->request_stop();
+    daemon->wait();
+  }
+}
+
+TEST_F(ServerTest, MaskMatchesOfflinePathAndCachesByteIdentically) {
+  const auto design = circuits::load_design("des3", 0.3);
+  const auto offline =
+      polaris_->mask_design(design, lib(), 20, core::InferenceMode::kModel);
+  const std::string offline_verilog = netlist::to_verilog(offline.masked);
+
+  auto daemon = make_server(2);
+  server::Client client(daemon->socket_path());
+  server::MaskRequest request;
+  request.design = "des3";
+  request.scale = 0.3;
+  request.mask_size = 20;
+  const auto first = client.mask(request);
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_EQ(first.selected, offline.selected);
+  EXPECT_EQ(first.verilog, offline_verilog);
+  EXPECT_EQ(first.masked_gate_count, offline.masked.gate_count());
+
+  // Second identical request: served from cache, byte-identical replay
+  // (including the recorded seconds), and the daemon reports the hit.
+  const auto second = client.mask(request);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.verilog, first.verilog);
+  EXPECT_EQ(second.selected, first.selected);
+  EXPECT_EQ(second.seconds, first.seconds);
+  EXPECT_GE(daemon->stats().cache_hits, 1u);
+}
+
+TEST_F(ServerTest, ScoreMatchesOfflineScoreGates) {
+  const auto design = circuits::load_design("square", 0.3);
+  const auto expected =
+      polaris_->score_gates(design, core::InferenceMode::kModel);
+
+  auto daemon = make_server(2);
+  server::Client client(daemon->socket_path());
+  server::ScoreRequest request;
+  request.design = "square";
+  request.scale = 0.3;
+  const auto reply = client.score(request);
+  ASSERT_EQ(reply.scores.size(), expected.size());
+  for (std::size_t g = 0; g < expected.size(); ++g) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(reply.scores[g]),
+              std::bit_cast<std::uint64_t>(expected[g]))
+        << "gate " << g;
+  }
+}
+
+TEST_F(ServerTest, AuditCacheHitReplaysBitIdenticalReport) {
+  auto daemon = make_server(2);
+  server::Client client(daemon->socket_path());
+  server::AuditRequest request;
+  request.design = "voter";
+  request.scale = 0.3;
+  request.config = audit_config();
+  const auto miss = client.audit(request);
+  EXPECT_FALSE(miss.cache_hit);
+  const auto hit = client.audit(request);
+  EXPECT_TRUE(hit.cache_hit);
+  expect_reports_bit_identical(hit.report, miss.report);
+
+  // A different seed is a different key: no false sharing.
+  server::AuditRequest other = request;
+  other.config.tvla.seed = 99;
+  EXPECT_FALSE(client.audit(other).cache_hit);
+}
+
+// --- concurrency ------------------------------------------------------------
+
+TEST_F(ServerTest, ConcurrentClientsGetCorrectAnswers) {
+  // N clients hammer mixed requests at once; every response must carry the
+  // same bits the offline path computes, even though all campaigns' shards
+  // interleave in one scheduler queue.
+  const auto config = audit_config();
+  const char* kDesigns[] = {"des3", "square", "voter", "arbiter"};
+  std::vector<tvla::LeakageReport> expected;
+  for (const char* name : kDesigns) {
+    const auto design = circuits::load_design(name, 0.25);
+    expected.push_back(tvla::run_fixed_vs_random(
+        design.netlist, lib(), core::tvla_config_for(config, design)));
+  }
+
+  auto daemon = make_server(4);
+  std::vector<std::thread> clients;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < 8; ++c) {
+    clients.emplace_back([&, c] {
+      try {
+        server::Client client(daemon->socket_path());
+        (void)client.ping();
+        const std::size_t which = static_cast<std::size_t>(c) % 4;
+        server::AuditRequest request;
+        request.design = kDesigns[which];
+        request.scale = 0.25;
+        request.config = config;
+        const auto reply = client.audit(request);
+        if (reply.report.t_values() != expected[which].t_values()) {
+          failures.fetch_add(1);
+        }
+        server::ScoreRequest score;
+        score.design = kDesigns[which];
+        score.scale = 0.25;
+        if (client.score(score).scores.empty()) failures.fetch_add(1);
+      } catch (const std::exception&) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : clients) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(daemon->stats().connections, 8u);
+}
+
+// --- malformed frames -------------------------------------------------------
+
+TEST_F(ServerTest, EveryTruncatedFramePrefixLeavesTheServerServing) {
+  auto daemon = make_server(1);
+  const auto frame = ping_frame_bytes();
+  // The serialize truncation-sweep idiom, applied to the wire: a client
+  // that dies after ANY prefix of a frame must not take the daemon down.
+  for (std::size_t keep = 0; keep < frame.size(); ++keep) {
+    const int fd = raw_connect(daemon->socket_path());
+    ASSERT_GE(fd, 0) << "daemon gone after prefix of " << keep << " bytes";
+    if (keep > 0) send_all(fd, frame.data(), keep);
+    ::close(fd);
+  }
+  // The daemon must still answer a well-formed request.
+  server::Client client(daemon->socket_path());
+  EXPECT_EQ(client.ping().protocol, server::kProtocolVersion);
+}
+
+TEST_F(ServerTest, WrongMagicGetsStructuredErrorFrame) {
+  auto daemon = make_server(1);
+  auto frame = ping_frame_bytes();
+  frame[0] = 'X';
+  const int fd = raw_connect(daemon->socket_path());
+  ASSERT_GE(fd, 0);
+  send_all(fd, frame.data(), frame.size());
+  EXPECT_EQ(read_status(fd), server::Status::kBadMagic);
+  ::close(fd);
+}
+
+TEST_F(ServerTest, FutureProtocolVersionGetsStructuredErrorFrame) {
+  auto daemon = make_server(1);
+  auto frame = ping_frame_bytes();
+  frame[4] = static_cast<std::uint8_t>(server::kProtocolVersion + 1);
+  const int fd = raw_connect(daemon->socket_path());
+  ASSERT_GE(fd, 0);
+  send_all(fd, frame.data(), frame.size());
+  EXPECT_EQ(read_status(fd), server::Status::kBadVersion);
+  ::close(fd);
+}
+
+TEST_F(ServerTest, OversizedFrameRejectedBeforeAllocation) {
+  // --max-frame 1024; the header claims 1 GiB. The structured rejection
+  // must arrive BEFORE any payload is read or allocated.
+  auto daemon = make_server(1, /*max_frame=*/1024);
+  auto frame = ping_frame_bytes();
+  const std::uint64_t huge = std::uint64_t{1} << 30;
+  for (int i = 0; i < 8; ++i) {
+    frame[8 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(huge >> (8 * i));
+  }
+  const int fd = raw_connect(daemon->socket_path());
+  ASSERT_GE(fd, 0);
+  send_all(fd, frame.data(), server::kFrameHeaderSize);  // header only
+  EXPECT_EQ(read_status(fd), server::Status::kTooLarge);
+  ::close(fd);
+}
+
+TEST_F(ServerTest, CorruptPayloadAnsweredAndConnectionStaysUsable) {
+  auto daemon = make_server(1);
+  auto frame = ping_frame_bytes();
+  frame[server::kFrameHeaderSize + 5] ^= 0x40;  // flip one payload byte
+  const int fd = raw_connect(daemon->socket_path());
+  ASSERT_GE(fd, 0);
+  send_all(fd, frame.data(), frame.size());
+  // The framing was intact (only the archive inside is corrupt), so the
+  // error is answered AND the connection keeps serving.
+  EXPECT_EQ(read_status(fd), server::Status::kBadPayload);
+  const auto good = ping_frame_bytes();
+  send_all(fd, good.data(), good.size());
+  EXPECT_EQ(read_status(fd), server::Status::kOk);
+  ::close(fd);
+}
+
+TEST_F(ServerTest, BadRequestsGetBadRequestStatus) {
+  auto daemon = make_server(1);
+  server::Client client(daemon->socket_path());
+  server::AuditRequest request;
+  request.design = "no_such_design";
+  request.config = audit_config();
+  try {
+    (void)client.audit(request);
+    FAIL() << "unknown design accepted";
+  } catch (const server::ServerError& error) {
+    EXPECT_EQ(error.status, server::Status::kBadRequest);
+    EXPECT_NE(std::string(error.what()).find("no_such_design"),
+              std::string::npos);
+  }
+  // The connection survives the rejected request.
+  EXPECT_EQ(client.ping().protocol, server::kProtocolVersion);
+}
+
+// --- shutdown ---------------------------------------------------------------
+
+TEST_F(ServerTest, StopMidRequestDeliversTheInFlightResponse) {
+  auto daemon = make_server(2);
+  const auto socket_path = daemon->socket_path();
+
+  std::atomic<bool> audit_ok{false};
+  std::thread in_flight([&] {
+    try {
+      server::Client client(socket_path);
+      server::AuditRequest request;
+      request.design = "des3";
+      request.scale = 1.0;
+      request.config = audit_config();
+      request.config.tvla.traces = 32768;  // long enough to straddle the stop
+      request.config.tvla.seed = 11;
+      const auto reply = client.audit(request);
+      audit_ok.store(reply.report.group_count() > 0);
+    } catch (const std::exception&) {
+      audit_ok.store(false);
+    }
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  daemon->request_stop();
+  daemon->wait();
+  in_flight.join();
+
+  // Graceful drain: the in-flight request completed and its response was
+  // delivered; the socket file is gone afterwards.
+  EXPECT_TRUE(audit_ok.load());
+  struct stat status_buffer{};
+  EXPECT_NE(::stat(socket_path.c_str(), &status_buffer), 0);
+}
+
+TEST_F(ServerTest, StalledMidFramePeerCannotBlockShutdown) {
+  auto daemon = make_server(1);
+  const int fd = raw_connect(daemon->socket_path());
+  ASSERT_GE(fd, 0);
+  const auto frame = ping_frame_bytes();
+  send_all(fd, frame.data(), 8);  // half a header, then go silent
+  // Give the handler time to enter the mid-frame read before stopping.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  daemon->request_stop();
+  daemon->wait();  // must return despite the peer never finishing its frame
+  ::close(fd);
+}
+
+TEST_F(ServerTest, ClientVanishingBeforeItsResponseDoesNotKillTheDaemon) {
+  auto daemon = make_server(1);
+  const int fd = raw_connect(daemon->socket_path());
+  ASSERT_GE(fd, 0);
+  const auto frame = ping_frame_bytes();
+  send_all(fd, frame.data(), frame.size());
+  ::close(fd);  // peer gone before the response write - must not SIGPIPE
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  server::Client client(daemon->socket_path());
+  EXPECT_EQ(client.ping().protocol, server::kProtocolVersion);
+}
+
+TEST_F(ServerTest, SecondDaemonOnLiveSocketIsRejected) {
+  auto daemon = make_server(1);
+  server::ServerOptions options;
+  options.socket_path = daemon->socket_path();
+  options.bundle_path = *bundle_path_;
+  EXPECT_THROW(server::Server{options}, std::runtime_error);
+  // The incumbent daemon is unharmed by the rejected newcomer.
+  server::Client client(daemon->socket_path());
+  EXPECT_EQ(client.ping().protocol, server::kProtocolVersion);
+}
+
+TEST_F(ServerTest, ClientShutdownVerbDrainsTheDaemon) {
+  auto daemon = make_server(1);
+  const auto socket_path = daemon->socket_path();
+  {
+    server::Client client(socket_path);
+    client.shutdown_server();
+  }
+  daemon->wait();
+  const auto stats = daemon->stats();
+  EXPECT_GE(stats.requests_served, 1u);
+  EXPECT_LT(raw_connect(socket_path), 0);  // nothing listens anymore
+}
+
+// --- protocol codecs (no sockets) -------------------------------------------
+
+TEST(ServeProtocol, RequestsRoundTrip) {
+  server::AuditRequest audit;
+  audit.design = "des3";
+  audit.scale = 0.5;
+  audit.config = audit_config();
+  {
+    serialize::Reader in(server::encode_audit_request(audit));
+    EXPECT_EQ(server::decode_request_kind(in), server::RequestKind::kAudit);
+    const auto back = server::decode_audit_request(in);
+    EXPECT_EQ(back.design, audit.design);
+    EXPECT_EQ(back.scale, audit.scale);
+    EXPECT_EQ(core::config_fingerprint(back.config),
+              core::config_fingerprint(audit.config));
+  }
+  server::MaskRequest mask;
+  mask.design = "square";
+  mask.mask_size = 44;
+  mask.mode = core::InferenceMode::kModelPlusRules;
+  mask.verify = true;
+  {
+    serialize::Reader in(server::encode_mask_request(mask));
+    EXPECT_EQ(server::decode_request_kind(in), server::RequestKind::kMask);
+    const auto back = server::decode_mask_request(in);
+    EXPECT_EQ(back.design, mask.design);
+    EXPECT_EQ(back.mask_size, mask.mask_size);
+    EXPECT_EQ(back.mode, mask.mode);
+    EXPECT_TRUE(back.verify);
+  }
+}
+
+TEST(ServeProtocol, ResponsesRoundTripIncludingReports) {
+  server::AuditReply reply;
+  reply.design_name = "d";
+  reply.gate_count = 12;
+  reply.traces = 512;
+  reply.report = tvla::LeakageReport({5.5, -0.25, 0.0}, {true, true, false},
+                                     4.5);
+  const auto body = server::encode_audit_reply(reply);
+  const auto payload =
+      server::encode_response(server::Status::kOk, "", true, body);
+  auto response = server::decode_response(payload);
+  EXPECT_EQ(response.status, server::Status::kOk);
+  EXPECT_TRUE(response.cache_hit);
+  const auto back = server::decode_audit_reply(response.body);
+  EXPECT_EQ(back.design_name, "d");
+  expect_reports_bit_identical(back.report, reply.report);
+}
+
+TEST(ServeProtocol, ErrorResponseCarriesStatusAndMessage) {
+  const auto payload = server::encode_response(server::Status::kBadRequest,
+                                               "unknown design 'x'", false, {});
+  const auto response = server::decode_response(payload);
+  EXPECT_EQ(response.status, server::Status::kBadRequest);
+  EXPECT_EQ(response.message, "unknown design 'x'");
+  EXPECT_TRUE(response.body.empty());
+}
+
+}  // namespace

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 
-#include "netlist/verilog.hpp"
+#include "util/math.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
 
 namespace polaris::cli {
 
@@ -149,19 +152,6 @@ core::PolarisConfig config_from_flags(const ParsedFlags& flags) {
   return config;
 }
 
-circuits::Design load_design(const std::string& name_or_path, double scale) {
-  if (name_or_path.size() > 2 &&
-      name_or_path.compare(name_or_path.size() - 2, 2, ".v") == 0) {
-    circuits::Design design;
-    design.name = name_or_path;
-    design.netlist = netlist::read_verilog_file(name_or_path);
-    design.roles.assign(design.netlist.primary_inputs().size(),
-                        circuits::InputRole::kData);
-    return design;
-  }
-  return circuits::get_design(name_or_path, scale);
-}
-
 core::InferenceMode mode_from_string(const std::string& name) {
   if (name == "model") return core::InferenceMode::kModel;
   if (name == "rules") return core::InferenceMode::kRules;
@@ -170,6 +160,124 @@ core::InferenceMode mode_from_string(const std::string& name) {
   }
   throw UsageError("unknown inference mode '" + name +
                    "'; expected model, rules, or model+rules");
+}
+
+namespace {
+
+/// printf-append onto a std::string (keeps the renderers byte-compatible
+/// with the printf-based output they replaced). Sized exactly: arbitrarily
+/// long design/output paths must never truncate.
+template <class... Args>
+void appendf(std::string& out, const char* format, Args... args) {
+  const int needed = std::snprintf(nullptr, 0, format, args...);
+  if (needed <= 0) return;
+  const std::size_t old_size = out.size();
+  out.resize(old_size + static_cast<std::size_t>(needed) + 1);
+  std::snprintf(out.data() + old_size, static_cast<std::size_t>(needed) + 1,
+                format, args...);
+  out.resize(old_size + static_cast<std::size_t>(needed));
+}
+
+}  // namespace
+
+std::string render_audit_json(const std::string& design_name,
+                              std::size_t gate_count,
+                              const tvla::LeakageReport& report,
+                              std::size_t traces, std::size_t top) {
+  const auto leaky = report.leaky_groups();
+  const std::size_t shown = std::min(top, leaky.size());
+  std::string out;
+  appendf(out,
+          "{\"design\":\"%s\",\"gates\":%zu,\"measured\":%zu,"
+          "\"leaky\":%zu,\"threshold\":%.3f,\"total_abs_t\":%.6f,"
+          "\"leakage_per_gate\":%.6f,\"traces\":%zu,\"top\":[",
+          json_escape(design_name).c_str(), gate_count,
+          report.measured_count(), leaky.size(), report.threshold(),
+          report.total_abs_t(), report.leakage_per_gate(), traces);
+  for (std::size_t i = 0; i < shown; ++i) {
+    appendf(out, "%s{\"gate\":%lu,\"t\":%.4f}", i == 0 ? "" : ",",
+            static_cast<unsigned long>(leaky[i]), report.t_value(leaky[i]));
+  }
+  out += "]}";
+  return out;
+}
+
+std::string render_audit_table(const std::string& design_name,
+                               std::size_t gate_count,
+                               const tvla::LeakageReport& report,
+                               std::size_t traces, std::size_t top) {
+  const auto leaky = report.leaky_groups();
+  const std::size_t shown = std::min(top, leaky.size());
+  std::string out;
+  appendf(out, "=== TVLA audit: %s (%zu gates, %zu traces) ===\n",
+          design_name.c_str(), gate_count, traces);
+  appendf(out, "measured groups:  %zu\n", report.measured_count());
+  appendf(out, "leaky (|t|>%.1f): %zu\n", report.threshold(), leaky.size());
+  appendf(out, "total |t|:        %.3f\n", report.total_abs_t());
+  appendf(out, "leakage per gate: %.3f\n\n", report.leakage_per_gate());
+  if (shown > 0) {
+    util::Table table({"Rank", "Gate", "|t|"});
+    for (std::size_t i = 0; i < shown; ++i) {
+      table.add_row({std::to_string(i + 1), std::to_string(leaky[i]),
+                     util::format_double(std::abs(report.t_value(leaky[i])), 3)});
+    }
+    out += table.render();
+  }
+  return out;
+}
+
+std::string render_mask_json(const std::string& design_name,
+                             std::size_t gate_count, std::size_t selected,
+                             std::size_t masked_gate_count, double seconds,
+                             const std::string& out_path,
+                             const tvla::LeakageReport* before,
+                             const tvla::LeakageReport* after) {
+  std::string out;
+  appendf(out,
+          "{\"design\":\"%s\",\"gates\":%zu,\"masked\":%zu,"
+          "\"masked_gates\":%zu,\"seconds\":%.4f,\"out\":\"%s\"",
+          json_escape(design_name).c_str(), gate_count, selected,
+          masked_gate_count, seconds, json_escape(out_path).c_str());
+  if (before != nullptr && after != nullptr) {
+    const double before_total = before->total_abs_t();
+    const double after_total = after->total_abs_t();
+    appendf(out,
+            ",\"before_total_abs_t\":%.6f,\"after_total_abs_t\":%.6f,"
+            "\"reduction_percent\":%.2f,\"leaky_before\":%zu,"
+            "\"leaky_after\":%zu",
+            before_total, after_total,
+            util::reduction_percent(before_total, after_total),
+            before->leaky_count(), after->leaky_count());
+  }
+  out += "}";
+  return out;
+}
+
+std::string render_mask_text(const std::string& design_name,
+                             std::size_t gate_count, std::size_t selected,
+                             std::size_t masked_gate_count, double seconds,
+                             const std::string& out_path,
+                             const tvla::LeakageReport* before,
+                             const tvla::LeakageReport* after) {
+  (void)design_name;
+  std::string out;
+  appendf(out,
+          "masked %zu of %zu gates in %.2fs (inference only - no TVLA "
+          "in the loop)\n",
+          selected, gate_count, seconds);
+  appendf(out, "wrote %s (%zu cells after composite insertion)\n",
+          out_path.c_str(), masked_gate_count);
+  if (before != nullptr && after != nullptr) {
+    const double before_total = before->total_abs_t();
+    const double after_total = after->total_abs_t();
+    appendf(out,
+            "verification: leaky %zu -> %zu, total |t| %.2f -> %.2f "
+            "(%.1f%% reduction)\n",
+            before->leaky_count(), after->leaky_count(), before_total,
+            after_total,
+            util::reduction_percent(before_total, after_total));
+  }
+  return out;
 }
 
 std::string json_escape(const std::string& text) {

@@ -62,22 +62,45 @@ class ParsedFlags {
 /// range problems as usage errors rather than crashes).
 [[nodiscard]] core::PolarisConfig config_from_flags(const ParsedFlags& flags);
 
-/// Loads a design: a suite name ("des3", "memctrl", ...) or a structural
-/// Verilog file (anything ending in ".v"; all inputs default to the
-/// sensitive role). `scale` shrinks parameterized suite designs.
-[[nodiscard]] circuits::Design load_design(const std::string& name_or_path,
-                                           double scale);
-
 /// Parses an InferenceMode name: model | rules | model+rules.
 [[nodiscard]] core::InferenceMode mode_from_string(const std::string& name);
 
 /// JSON string escaping (quotes, backslashes, control characters).
 [[nodiscard]] std::string json_escape(const std::string& text);
 
+// Output renderers shared by the offline commands and `polaris_cli
+// client`: a served response prints byte-identically to its offline
+// counterpart because both go through the same formatter. None append a
+// trailing newline; callers own separators.
+[[nodiscard]] std::string render_audit_json(const std::string& design_name,
+                                            std::size_t gate_count,
+                                            const tvla::LeakageReport& report,
+                                            std::size_t traces,
+                                            std::size_t top);
+[[nodiscard]] std::string render_audit_table(const std::string& design_name,
+                                             std::size_t gate_count,
+                                             const tvla::LeakageReport& report,
+                                             std::size_t traces,
+                                             std::size_t top);
+/// `before`/`after` are the optional --verify sign-off reports (both or
+/// neither).
+[[nodiscard]] std::string render_mask_json(
+    const std::string& design_name, std::size_t gate_count,
+    std::size_t selected, std::size_t masked_gate_count, double seconds,
+    const std::string& out_path, const tvla::LeakageReport* before,
+    const tvla::LeakageReport* after);
+[[nodiscard]] std::string render_mask_text(
+    const std::string& design_name, std::size_t gate_count,
+    std::size_t selected, std::size_t masked_gate_count, double seconds,
+    const std::string& out_path, const tvla::LeakageReport* before,
+    const tvla::LeakageReport* after);
+
 // Subcommand entry points (argv past the subcommand name).
 int cmd_train(std::span<const char* const> args);
 int cmd_audit(std::span<const char* const> args);
 int cmd_mask(std::span<const char* const> args);
 int cmd_inspect(std::span<const char* const> args);
+int cmd_serve(std::span<const char* const> args);
+int cmd_client(std::span<const char* const> args);
 
 }  // namespace polaris::cli

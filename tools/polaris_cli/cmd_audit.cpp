@@ -6,62 +6,16 @@
 // concurrently - every campaign's shards drain through the global
 // engine::Scheduler as one work queue (core::audit_designs), so a big
 // design's tail is filled by the small ones' shards. Reports are identical
-// to auditing each design alone.
-#include <algorithm>
-#include <cmath>
+// to auditing each design alone. Output goes through the renderers shared
+// with `polaris_cli client audit`, so a served audit prints byte-identically.
 #include <cstdio>
 
 #include "cli.hpp"
 #include "techlib/techlib.hpp"
 #include "tvla/tvla.hpp"
 #include "util/strings.hpp"
-#include "util/table.hpp"
 
 namespace polaris::cli {
-
-namespace {
-
-void print_json(const circuits::Design& design,
-                const tvla::LeakageReport& report, std::size_t traces,
-                std::size_t top_n) {
-  const auto leaky = report.leaky_groups();
-  const std::size_t top = std::min(top_n, leaky.size());
-  std::printf("{\"design\":\"%s\",\"gates\":%zu,\"measured\":%zu,"
-              "\"leaky\":%zu,\"threshold\":%.3f,\"total_abs_t\":%.6f,"
-              "\"leakage_per_gate\":%.6f,\"traces\":%zu,\"top\":[",
-              json_escape(design.name).c_str(), design.netlist.gate_count(),
-              report.measured_count(), leaky.size(), report.threshold(),
-              report.total_abs_t(), report.leakage_per_gate(), traces);
-  for (std::size_t i = 0; i < top; ++i) {
-    std::printf("%s{\"gate\":%lu,\"t\":%.4f}", i == 0 ? "" : ",",
-                static_cast<unsigned long>(leaky[i]),
-                report.t_value(leaky[i]));
-  }
-  std::printf("]}");
-}
-
-void print_table(const circuits::Design& design,
-                 const tvla::LeakageReport& report, std::size_t traces,
-                 std::size_t top_n) {
-  const auto leaky = report.leaky_groups();
-  const std::size_t top = std::min(top_n, leaky.size());
-  std::printf("=== TVLA audit: %s (%zu gates, %zu traces) ===\n",
-              design.name.c_str(), design.netlist.gate_count(), traces);
-  std::printf("measured groups:  %zu\n", report.measured_count());
-  std::printf("leaky (|t|>%.1f): %zu\n", report.threshold(), leaky.size());
-  std::printf("total |t|:        %.3f\n", report.total_abs_t());
-  std::printf("leakage per gate: %.3f\n\n", report.leakage_per_gate());
-  if (top > 0) {
-    util::Table table({"Rank", "Gate", "|t|"});
-    for (std::size_t i = 0; i < top; ++i) {
-      table.add_row({std::to_string(i + 1), std::to_string(leaky[i]),
-                     util::format_double(std::abs(report.t_value(leaky[i])), 3)});
-    }
-    std::fputs(table.render().c_str(), stdout);
-  }
-}
-
-}  // namespace
 
 int cmd_audit(std::span<const char* const> args) {
   std::vector<FlagSpec> specs = config_flag_specs();
@@ -87,7 +41,7 @@ int cmd_audit(std::span<const char* const> args) {
     // trim: "--design 'des3, square'" is natural shell quoting.
     const auto trimmed = util::trim(name);
     if (trimmed.empty()) continue;
-    designs.push_back(load_design(std::string(trimmed), scale));
+    designs.push_back(circuits::load_design(std::string(trimmed), scale));
   }
   if (designs.empty()) throw UsageError("flag '--design' names no designs");
 
@@ -101,7 +55,11 @@ int cmd_audit(std::span<const char* const> args) {
     if (designs.size() > 1) std::printf("[");
     for (std::size_t i = 0; i < designs.size(); ++i) {
       if (i > 0) std::printf(",");
-      print_json(designs[i], reports[i], config.tvla.traces, top);
+      std::fputs(render_audit_json(designs[i].name,
+                                   designs[i].netlist.gate_count(), reports[i],
+                                   config.tvla.traces, top)
+                     .c_str(),
+                 stdout);
     }
     if (designs.size() > 1) std::printf("]");
     std::printf("\n");
@@ -110,7 +68,11 @@ int cmd_audit(std::span<const char* const> args) {
 
   for (std::size_t i = 0; i < designs.size(); ++i) {
     if (i > 0) std::printf("\n");
-    print_table(designs[i], reports[i], config.tvla.traces, top);
+    std::fputs(render_audit_table(designs[i].name,
+                                  designs[i].netlist.gate_count(), reports[i],
+                                  config.tvla.traces, top)
+                   .c_str(),
+               stdout);
   }
   return 0;
 }

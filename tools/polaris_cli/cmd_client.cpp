@@ -1,0 +1,293 @@
+// `polaris_cli client`: thin framed-protocol client for a running serve
+// daemon. Verbs mirror the offline commands and print through the SAME
+// renderers, so `client audit`/`client mask` output is byte-identical to
+// `audit`/`mask` served from the same bundle (timing fields aside) - a
+// flow can switch between offline and daemon mode without re-parsing
+// anything. Cache-hit notices go to stderr; stdout stays machine-parseable.
+//
+// Exit codes match the offline commands: 0 success, 1 runtime/server
+// failure, 2 bad usage.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <thread>
+
+#include "cli.hpp"
+#include "server/client.hpp"
+#include "util/fileio.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace polaris::cli {
+
+namespace {
+
+void note_cache_hit(bool cache_hit) {
+  if (cache_hit) {
+    std::fputs("polaris client: served from result cache\n", stderr);
+  }
+}
+
+int client_ping(const ParsedFlags& flags) {
+  server::Client client(flags.require("socket"));
+  const auto reply = client.ping();
+  std::printf("{\"server\":\"polaris\",\"protocol\":%u,\"model\":\"%s\","
+              "\"fingerprint\":\"%016llx\",\"requests\":%llu,"
+              "\"cache_hits\":%llu,\"cache_entries\":%llu}\n",
+              reply.protocol, json_escape(reply.model_name).c_str(),
+              static_cast<unsigned long long>(reply.config_fingerprint),
+              static_cast<unsigned long long>(reply.requests_served),
+              static_cast<unsigned long long>(reply.cache_hits),
+              static_cast<unsigned long long>(reply.cache_entries));
+  return 0;
+}
+
+int client_audit(const ParsedFlags& flags) {
+  const auto config = config_from_flags(flags);
+  const double scale = flags.get_double("scale", 1.0);
+  const std::size_t top = flags.get_size("top", 10);
+
+  std::vector<std::string> designs;
+  for (const auto& name : util::split(flags.require("design"), ",")) {
+    const auto trimmed = util::trim(name);
+    if (!trimmed.empty()) designs.emplace_back(trimmed);
+  }
+  if (designs.empty()) throw UsageError("flag '--design' names no designs");
+
+  // One connection per design, issued concurrently: the daemon funnels
+  // every connection's campaigns into its shared scheduler, so multiple
+  // designs interleave shard-for-shard exactly like the offline
+  // `audit --design a,b,c` path (instead of serializing per round-trip).
+  const std::string socket_path = flags.require("socket");
+  std::vector<server::AuditReply> replies(designs.size());
+  std::vector<std::exception_ptr> errors(designs.size());
+  {
+    std::vector<std::thread> workers;
+    for (std::size_t i = 0; i < designs.size(); ++i) {
+      workers.emplace_back([&, i] {
+        try {
+          server::AuditRequest request;
+          request.design = designs[i];
+          request.scale = scale;
+          request.config = config;
+          server::Client client(socket_path);
+          replies[i] = client.audit(request);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      });
+    }
+    for (auto& worker : workers) worker.join();
+  }
+  for (const auto& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+  for (const auto& reply : replies) note_cache_hit(reply.cache_hit);
+
+  if (flags.has("json")) {
+    if (replies.size() > 1) std::printf("[");
+    for (std::size_t i = 0; i < replies.size(); ++i) {
+      if (i > 0) std::printf(",");
+      std::fputs(render_audit_json(replies[i].design_name,
+                                   replies[i].gate_count, replies[i].report,
+                                   replies[i].traces, top)
+                     .c_str(),
+                 stdout);
+    }
+    if (replies.size() > 1) std::printf("]");
+    std::printf("\n");
+    return 0;
+  }
+  for (std::size_t i = 0; i < replies.size(); ++i) {
+    if (i > 0) std::printf("\n");
+    std::fputs(render_audit_table(replies[i].design_name,
+                                  replies[i].gate_count, replies[i].report,
+                                  replies[i].traces, top)
+                   .c_str(),
+               stdout);
+  }
+  return 0;
+}
+
+int client_mask(const ParsedFlags& flags) {
+  server::MaskRequest request;
+  request.design = flags.require("design");
+  request.scale = flags.get_double("scale", 1.0);
+  request.mask_size = flags.get_size("mask-size", 0);  // 0 = bundle's Msize
+  request.mode = mode_from_string(flags.get("mode", "model"));
+  request.verify = flags.has("verify");
+  const std::string out_path = flags.require("out");
+
+  server::Client client(flags.require("socket"));
+  const auto reply = client.mask(request);
+  note_cache_hit(reply.cache_hit);
+  // Atomic, like the offline path: a flow must never see a truncated .v.
+  util::write_file_atomic(out_path, reply.verilog);
+
+  const tvla::LeakageReport* before =
+      reply.before.has_value() ? &*reply.before : nullptr;
+  const tvla::LeakageReport* after =
+      reply.after.has_value() ? &*reply.after : nullptr;
+  const auto render = flags.has("json") ? render_mask_json : render_mask_text;
+  std::fputs(render(reply.design_name, reply.gate_count, reply.selected.size(),
+                    reply.masked_gate_count, reply.seconds, out_path, before,
+                    after)
+                 .c_str(),
+             stdout);
+  if (flags.has("json")) std::printf("\n");
+  return 0;
+}
+
+int client_score(const ParsedFlags& flags) {
+  server::ScoreRequest request;
+  request.design = flags.require("design");
+  request.scale = flags.get_double("scale", 1.0);
+  request.mode = mode_from_string(flags.get("mode", "model"));
+  const std::size_t top = flags.get_size("top", 10);
+
+  server::Client client(flags.require("socket"));
+  const auto reply = client.score(request);
+  note_cache_hit(reply.cache_hit);
+
+  // Rank maskable gates (score > 0) by descending score, stable by id.
+  std::vector<std::size_t> ranked;
+  for (std::size_t g = 0; g < reply.scores.size(); ++g) {
+    if (reply.scores[g] > 0.0) ranked.push_back(g);
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return reply.scores[a] > reply.scores[b];
+                   });
+  const std::size_t shown = std::min(top, ranked.size());
+
+  if (flags.has("json")) {
+    std::printf("{\"design\":\"%s\",\"gates\":%zu,\"scored\":%zu,\"top\":[",
+                json_escape(reply.design_name).c_str(), reply.scores.size(),
+                ranked.size());
+    for (std::size_t i = 0; i < shown; ++i) {
+      std::printf("%s{\"gate\":%zu,\"score\":%.6f}", i == 0 ? "" : ",",
+                  ranked[i], reply.scores[ranked[i]]);
+    }
+    std::printf("]}\n");
+    return 0;
+  }
+  std::printf("=== gate scores: %s (%zu gates, %zu scored) ===\n",
+              reply.design_name.c_str(), reply.scores.size(), ranked.size());
+  if (shown > 0) {
+    util::Table table({"Rank", "Gate", "Score"});
+    for (std::size_t i = 0; i < shown; ++i) {
+      table.add_row({std::to_string(i + 1), std::to_string(ranked[i]),
+                     util::format_double(reply.scores[ranked[i]], 4)});
+    }
+    std::fputs(table.render().c_str(), stdout);
+  }
+  return 0;
+}
+
+int client_shutdown(const ParsedFlags& flags) {
+  server::Client client(flags.require("socket"));
+  client.shutdown_server();
+  std::printf("shutdown requested\n");
+  return 0;
+}
+
+}  // namespace
+
+int cmd_client(std::span<const char* const> args) {
+  if (args.empty() || std::strcmp(args[0], "--help") == 0 ||
+      std::strcmp(args[0], "-h") == 0) {
+    std::printf(
+        "usage: polaris_cli client <verb> --socket <path.sock> [flags]\n"
+        "\n"
+        "verbs (each '--help' lists its flags):\n"
+        "  ping      daemon liveness, bundle identity, cache stats (JSON)\n"
+        "  audit     TVLA leakage report, served (same output as 'audit')\n"
+        "  mask      masked Verilog, served (same output as 'mask')\n"
+        "  score     per-gate masking scores from the served model\n"
+        "  shutdown  ask the daemon to drain and exit\n");
+    return args.empty() ? 2 : 0;
+  }
+  const std::string verb = args[0];
+  const auto rest = args.subspan(1);
+
+  const FlagSpec socket_spec{"socket", true,
+                             "daemon socket path (required)"};
+  const FlagSpec help_spec{"help", false, "show this help"};
+
+  if (verb == "ping" || verb == "shutdown") {
+    const std::vector<FlagSpec> specs = {socket_spec, help_spec};
+    const ParsedFlags flags(rest, specs);
+    if (flags.has("help")) {
+      std::printf("usage: polaris_cli client %s --socket <path.sock>\n\n%s",
+                  verb.c_str(), render_flag_help(specs).c_str());
+      return 0;
+    }
+    return verb == "ping" ? client_ping(flags) : client_shutdown(flags);
+  }
+  if (verb == "audit") {
+    std::vector<FlagSpec> specs = config_flag_specs();
+    specs.push_back(socket_spec);
+    specs.push_back({"design", true,
+                     "suite name(s) or Verilog file(s), comma-separated "
+                     "(required)"});
+    specs.push_back({"scale", true,
+                     "suite design-size scale in (0,1] (default 1.0)"});
+    specs.push_back({"top", true, "list the N leakiest gates (default 10)"});
+    specs.push_back({"json", false,
+                     "emit a JSON object (array when several designs)"});
+    specs.push_back(help_spec);
+    const ParsedFlags flags(rest, specs);
+    if (flags.has("help")) {
+      std::printf("usage: polaris_cli client audit --socket <path.sock> "
+                  "--design <name|file.v>[,...] [flags]\n\n%s",
+                  render_flag_help(specs).c_str());
+      return 0;
+    }
+    return client_audit(flags);
+  }
+  if (verb == "mask") {
+    const std::vector<FlagSpec> specs = {
+        socket_spec,
+        {"design", true, "suite name or Verilog file (required)"},
+        {"out", true, "masked Verilog output path (required)"},
+        {"scale", true, "suite design-size scale in (0,1] (default 1.0)"},
+        {"mask-size", true, "gates to mask (default: the bundle's Msize)"},
+        {"mode", true, "model | rules | model+rules (default model)"},
+        {"verify", false, "server-side before/after TVLA sign-off"},
+        {"json", false, "emit a JSON summary instead of text"},
+        help_spec,
+    };
+    const ParsedFlags flags(rest, specs);
+    if (flags.has("help")) {
+      std::printf("usage: polaris_cli client mask --socket <path.sock> "
+                  "--design <name|file.v> --out <masked.v> [flags]\n\n%s",
+                  render_flag_help(specs).c_str());
+      return 0;
+    }
+    return client_mask(flags);
+  }
+  if (verb == "score") {
+    const std::vector<FlagSpec> specs = {
+        socket_spec,
+        {"design", true, "suite name or Verilog file (required)"},
+        {"scale", true, "suite design-size scale in (0,1] (default 1.0)"},
+        {"mode", true, "model | rules | model+rules (default model)"},
+        {"top", true, "list the N best-scoring gates (default 10)"},
+        {"json", false, "emit a JSON summary instead of text"},
+        help_spec,
+    };
+    const ParsedFlags flags(rest, specs);
+    if (flags.has("help")) {
+      std::printf("usage: polaris_cli client score --socket <path.sock> "
+                  "--design <name|file.v> [flags]\n\n%s",
+                  render_flag_help(specs).c_str());
+      return 0;
+    }
+    return client_score(flags);
+  }
+  throw UsageError("unknown client verb '" + verb +
+                   "'; expected ping, audit, mask, score, or shutdown");
+}
+
+}  // namespace polaris::cli

@@ -1,8 +1,9 @@
 // `polaris_cli mask`: the TVLA-free serving path (Algorithm 2). Loads a
 // trained bundle, scores and masks a design, and emits masked structural
-// Verilog for the downstream ASIC flow. `--verify` adds the optional
-// line-10 leakage estimate (before/after TVLA) - useful for sign-off, but
-// not needed for the masking decision itself.
+// Verilog for the downstream ASIC flow (written atomically: temp file +
+// rename, so an interrupted run never leaves a truncated .v). `--verify`
+// adds the optional line-10 leakage estimate (before/after TVLA) - useful
+// for sign-off, but not needed for the masking decision itself.
 #include <cstdio>
 #include <optional>
 
@@ -11,7 +12,6 @@
 #include "netlist/verilog.hpp"
 #include "techlib/techlib.hpp"
 #include "tvla/tvla.hpp"
-#include "util/math.hpp"
 
 namespace polaris::cli {
 
@@ -36,8 +36,8 @@ int cmd_mask(std::span<const char* const> args) {
   }
 
   const auto polaris = core::Polaris::load_bundle(flags.require("bundle"));
-  const auto design =
-      load_design(flags.require("design"), flags.get_double("scale", 1.0));
+  const auto design = circuits::load_design(flags.require("design"),
+                                            flags.get_double("scale", 1.0));
   const std::string out_path = flags.require("out");
   const auto mode = mode_from_string(flags.get("mode", "model"));
   const std::size_t mask_size =
@@ -65,40 +65,16 @@ int cmd_mask(std::span<const char* const> args) {
     outcome.verification = after_future.get();
   }
 
-  const double before_total = before ? before->total_abs_t() : 0.0;
-  const double after_total =
-      outcome.verification ? outcome.verification->total_abs_t() : 0.0;
-  const double reduction = util::reduction_percent(before_total, after_total);
-
-  if (flags.has("json")) {
-    std::printf("{\"design\":\"%s\",\"gates\":%zu,\"masked\":%zu,"
-                "\"masked_gates\":%zu,\"seconds\":%.4f,\"out\":\"%s\"",
-                json_escape(design.name).c_str(), design.netlist.gate_count(),
-                outcome.selected.size(), outcome.masked.gate_count(),
-                outcome.seconds, json_escape(out_path).c_str());
-    if (verify) {
-      std::printf(",\"before_total_abs_t\":%.6f,\"after_total_abs_t\":%.6f,"
-                  "\"reduction_percent\":%.2f,\"leaky_before\":%zu,"
-                  "\"leaky_after\":%zu",
-                  before_total, after_total, reduction, before->leaky_count(),
-                  outcome.verification->leaky_count());
-    }
-    std::printf("}\n");
-    return 0;
-  }
-
-  std::printf("masked %zu of %zu gates in %.2fs (inference only - no TVLA "
-              "in the loop)\n",
-              outcome.selected.size(), design.netlist.gate_count(),
-              outcome.seconds);
-  std::printf("wrote %s (%zu cells after composite insertion)\n",
-              out_path.c_str(), outcome.masked.gate_count());
-  if (verify) {
-    std::printf("verification: leaky %zu -> %zu, total |t| %.2f -> %.2f "
-                "(%.1f%% reduction)\n",
-                before->leaky_count(), outcome.verification->leaky_count(),
-                before_total, after_total, reduction);
-  }
+  const tvla::LeakageReport* before_report = before ? &*before : nullptr;
+  const tvla::LeakageReport* after_report =
+      outcome.verification ? &*outcome.verification : nullptr;
+  const auto render = flags.has("json") ? render_mask_json : render_mask_text;
+  std::fputs(render(design.name, design.netlist.gate_count(),
+                    outcome.selected.size(), outcome.masked.gate_count(),
+                    outcome.seconds, out_path, before_report, after_report)
+                 .c_str(),
+             stdout);
+  if (flags.has("json")) std::printf("\n");
   return 0;
 }
 

@@ -1,0 +1,83 @@
+// `polaris_cli serve`: the long-lived masking daemon. Loads a .plb bundle
+// ONCE, binds a Unix-domain socket, and serves audit/mask/score requests
+// until SIGINT/SIGTERM or a client `shutdown` - every later request skips
+// the process launch, bundle load, and cold caches an offline invocation
+// pays. Concurrent clients' TVLA shards interleave in one scheduler queue;
+// repeated requests for unchanged designs answer from the result cache.
+#include <signal.h>
+
+#include <cstdio>
+
+#include "cli.hpp"
+#include "server/server.hpp"
+
+namespace polaris::cli {
+
+namespace {
+
+server::Server* g_server = nullptr;
+
+void handle_stop_signal(int) {
+  // request_stop is async-signal-safe (one write to a pipe). The daemon
+  // then drains: in-flight requests complete, responses are delivered, the
+  // socket file is unlinked, and wait() returns.
+  if (g_server != nullptr) g_server->request_stop();
+}
+
+}  // namespace
+
+int cmd_serve(std::span<const char* const> args) {
+  const std::vector<FlagSpec> specs = {
+      {"bundle", true, "trained .plb bundle to serve (required)"},
+      {"socket", true, "Unix-domain socket path to listen on (required)"},
+      {"threads", true, "scheduler worker threads, 0 = all cores (default 0)"},
+      {"max-frame", true,
+       "largest accepted request payload in bytes (default 67108864)"},
+      {"cache-capacity", true, "result-cache entries, 0 disables (default 256)"},
+      {"help", false, "show this help"},
+  };
+  const ParsedFlags flags(args, specs);
+  if (flags.has("help")) {
+    std::printf("usage: polaris_cli serve --bundle <model.plb> --socket "
+                "<path.sock> [flags]\n\n%s",
+                render_flag_help(specs).c_str());
+    return 0;
+  }
+
+  server::ServerOptions options;
+  options.bundle_path = flags.require("bundle");
+  options.socket_path = flags.require("socket");
+  options.threads = flags.get_size("threads", 0);
+  options.max_frame = flags.get_size("max-frame", server::kDefaultMaxFrame);
+  options.cache_capacity = flags.get_size("cache-capacity", 256);
+
+  server::Server daemon(options);
+  const auto& info = daemon.bundle_info();
+  std::printf("polaris serve: %s (model=%s, fingerprint=%016llx) on %s\n",
+              options.bundle_path.c_str(), info.model_name.c_str(),
+              static_cast<unsigned long long>(info.config_fingerprint),
+              options.socket_path.c_str());
+  std::fflush(stdout);  // smoke scripts wait for this line through a pipe
+
+  g_server = &daemon;
+  struct sigaction action {};
+  action.sa_handler = handle_stop_signal;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+
+  daemon.start();
+  daemon.wait();
+  g_server = nullptr;
+
+  const auto stats = daemon.stats();
+  std::printf("polaris serve: drained after %llu requests over %llu "
+              "connections (cache: %llu hits / %llu misses, %llu entries)\n",
+              static_cast<unsigned long long>(stats.requests_served),
+              static_cast<unsigned long long>(stats.connections),
+              static_cast<unsigned long long>(stats.cache_hits),
+              static_cast<unsigned long long>(stats.cache_misses),
+              static_cast<unsigned long long>(stats.cache_entries));
+  return 0;
+}
+
+}  // namespace polaris::cli

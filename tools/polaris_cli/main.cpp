@@ -7,6 +7,8 @@
 //   polaris_cli audit   --design des3 [--json]
 //   polaris_cli mask    --bundle model.plb --design des3 --out masked.v
 //   polaris_cli inspect --bundle model.plb [--rules]
+//   polaris_cli serve   --bundle model.plb --socket polaris.sock
+//   polaris_cli client  <audit|mask|score|ping|shutdown> --socket polaris.sock
 //
 // Exit codes: 0 success, 1 runtime failure, 2 bad usage.
 #include <cstdio>
@@ -28,6 +30,11 @@ void print_usage() {
       "  mask     load a bundle, harden a design (Algorithm 2, no TVLA),\n"
       "           emit masked structural Verilog\n"
       "  inspect  print bundle metadata, config, and mined rules\n"
+      "  serve    long-lived daemon: load a bundle once, serve audit/mask/\n"
+      "           score over a Unix socket until SIGINT/SIGTERM/shutdown\n"
+      "  client   send one request to a running daemon (audit | mask |\n"
+      "           score | ping | shutdown); same output and exit codes as\n"
+      "           the offline commands\n"
       "\n"
       "designs are suite names (des3, arbiter, sin, md5, voter, square,\n"
       "sqrt, div, memctrl, multiplier, log2, ...) or structural Verilog\n"
@@ -54,6 +61,10 @@ int main(int argc, char** argv) {
     if (std::strcmp(command, "mask") == 0) return polaris::cli::cmd_mask(args);
     if (std::strcmp(command, "inspect") == 0) {
       return polaris::cli::cmd_inspect(args);
+    }
+    if (std::strcmp(command, "serve") == 0) return polaris::cli::cmd_serve(args);
+    if (std::strcmp(command, "client") == 0) {
+      return polaris::cli::cmd_client(args);
     }
     if (std::strcmp(command, "--help") == 0 || std::strcmp(command, "-h") == 0) {
       print_usage();
