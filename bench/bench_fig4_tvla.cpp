@@ -6,7 +6,9 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "circuits/aes_sbox.hpp"
 #include "engine/thread_pool.hpp"
+#include "sim/compiled.hpp"
 #include "util/csv.hpp"
 #include "util/strings.hpp"
 #include "util/timer.hpp"
@@ -15,6 +17,51 @@ using namespace polaris;
 
 int main() {
   const auto setup = bench::BenchSetup::from_env();
+
+  // --- compiled-kernel probe: raw campaign throughput, no model ----------
+  // A combinational AES S-box layer isolates the sim->power->moments loop:
+  // compile once (reported as compile_ms), then run the fixed-vs-random
+  // campaign over the shared plan. This is the kernel number the perf
+  // trajectory (BENCH_fig4_tvla.json) tracks across PRs.
+  {
+    const auto sbox = circuits::make_aes_sbox_layer(4);
+    tvla::TvlaConfig config;
+    config.traces = setup.traces;
+    config.seed = setup.seed;
+    config.noise_std_fj = 1.0;
+    config.threads = setup.threads;
+
+    util::Timer compile_timer;
+    const auto compiled = sim::compile(sbox);
+    const double compile_ms = compile_timer.seconds() * 1e3;
+    util::Timer kernel_timer;
+    const auto report = tvla::run_fixed_vs_random(compiled, setup.lib, config);
+    const double kernel_seconds = kernel_timer.seconds();
+    std::printf("kernel probe: aes_sbox x4 (%zu gates) compiled in %.2fms, "
+                "%zu traces in %.3fs, %zu leaky\n\n",
+                sbox.gate_count(), compile_ms, setup.traces, kernel_seconds,
+                report.leaky_count());
+    bench::JsonLine("fig4_tvla_kernel")
+        .field("design", "aes_sbox")
+        .field("gates", sbox.gate_count())
+        .field("traces", setup.traces)
+        .field("threads", engine::ThreadPool::resolve_threads(config.threads))
+        .field("compile_ms", compile_ms)
+        .field("campaign_seconds", kernel_seconds)
+        .field("traces_per_sec",
+               kernel_seconds > 0.0
+                   ? static_cast<double>(setup.traces) / kernel_seconds
+                   : 0.0,
+               1)
+        .print();
+    // CI bench-smoke runs just the kernel probe: the full Fig. 4 flow below
+    // trains a model first, which a perf-recording job does not need.
+    const char* kernel_only = std::getenv("POLARIS_BENCH_KERNEL_ONLY");
+    if (kernel_only != nullptr && *kernel_only != '\0' && *kernel_only != '0') {
+      return 0;
+    }
+  }
+
   std::printf("=== Fig. 4: per-gate TVLA before/after POLARIS masking (des3) ===\n\n");
 
   const auto trained = bench::trained_polaris(
@@ -23,9 +70,12 @@ int main() {
 
   auto design = circuits::get_design("des3", setup.scale);
   const auto tvla_config = core::tvla_config_for(polaris.config(), design);
+  util::Timer compile_timer;
+  const auto compiled_des3 = sim::compile(design.netlist);
+  const double des3_compile_ms = compile_timer.seconds() * 1e3;
   util::Timer campaign_timer;
   const auto before =
-      tvla::run_fixed_vs_random(design.netlist, setup.lib, tvla_config);
+      tvla::run_fixed_vs_random(compiled_des3, setup.lib, tvla_config);
   const double campaign_seconds = campaign_timer.seconds();
   const std::size_t leaky = before.leaky_count();
   std::printf("des3: %zu gates, %zu leaky before masking (|t| > %.1f)\n",
@@ -84,6 +134,7 @@ int main() {
       .field("design", "des3")
       .field("traces", setup.traces)
       .field("threads", engine::ThreadPool::resolve_threads(tvla_config.threads))
+      .field("compile_ms", des3_compile_ms)
       .field("campaign_seconds", campaign_seconds)
       .field("traces_per_sec",
              campaign_seconds > 0.0

@@ -48,14 +48,17 @@ CognitionPlan::CognitionPlan(const circuits::Design& design,
 
   // Phase 2 - submit the original design's leak_estimate plus one campaign
   // per iteration into the global shard queue; they interleave with every
-  // other pending campaign. The masked variants must outlive their
-  // campaigns, so they are materialized here (reserve: the netlists'
-  // addresses are captured by the shard closures and must not move).
-  // Peak memory is therefore designs x iterations masked netlists held
-  // through the drain - a few MB for the built-in training suites
-  // (<1k-gate designs); if training suites ever grow to large netlists,
-  // the seam is a submit overload that lets each campaign own (and lazily
-  // build) its input.
+  // other pending campaign. Each campaign compiles its design once
+  // (sim::CompiledDesign) and shares the plan across all of its shards, so
+  // a labelling sweep runs one topological_order per masked variant instead
+  // of one per shard. The masked variants must outlive their campaigns, so
+  // they are materialized here (reserve: the netlists' addresses are
+  // captured by the shard closures and must not move). Peak memory is
+  // therefore designs x iterations masked netlists (plus their compiled
+  // plans) held through the drain - a few MB for the built-in training
+  // suites (<1k-gate designs); if training suites ever grow to large
+  // netlists, the seam is a submit overload that lets each campaign own
+  // (and lazily build) its input.
   timer_.reset();
   original_ = tvla::submit_fixed_vs_random(scheduler, design.netlist, lib,
                                            tvla_config);

@@ -5,8 +5,7 @@ namespace polaris::power {
 using netlist::GateId;
 
 PowerModel::PowerModel(const netlist::Netlist& netlist,
-                       const techlib::TechLibrary& lib)
-    : netlist_(netlist) {
+                       const techlib::TechLibrary& lib) {
   energies_.resize(netlist.gate_count());
   for (GateId g = 0; g < netlist.gate_count(); ++g) {
     const auto& gate = netlist.gate(g);
@@ -20,8 +19,11 @@ PowerModel::PowerModel(const netlist::Netlist& netlist,
 
 void PowerModel::total_power(const sim::Simulator& simulator,
                              std::vector<double>& out_per_lane) const {
+  // Walk active_gates_ (ascending id) instead of all gates: zero-energy
+  // gates contribute exactly +0.0 to nonnegative accumulators, so the sums
+  // are bit-identical to the all-gates sweep while skipping the dead set.
   out_per_lane.assign(sim::kLanes, 0.0);
-  for (GateId g = 0; g < netlist_.gate_count(); ++g) {
+  for (const GateId g : active_gates_) {
     const std::uint64_t toggles = simulator.toggles(g);
     if (toggles == 0) continue;
     const double energy = energies_[g];

@@ -36,7 +36,7 @@ class PowerModel {
   }
 
   /// Total-power samples for all 64 lanes of the simulator's last eval():
-  /// out[l] = sum over gates of E_g * toggle_g[lane l]. This is the
+  /// out[l] = sum over active gates of E_g * toggle_g[lane l]. This is the
   /// "aggregate power trace" view an oscilloscope-level attacker sees.
   void total_power(const sim::Simulator& simulator,
                    std::vector<double>& out_per_lane) const;
@@ -45,7 +45,6 @@ class PowerModel {
   [[nodiscard]] double static_leakage() const { return static_leakage_nw_; }
 
  private:
-  const netlist::Netlist& netlist_;
   std::vector<double> energies_;
   std::vector<netlist::GateId> active_gates_;
   double static_leakage_nw_ = 0.0;

@@ -1,0 +1,53 @@
+#include "power/sample_plan.hpp"
+
+#include <algorithm>
+
+namespace polaris::power {
+
+using netlist::GateId;
+
+SamplePlan::SamplePlan(const sim::CompiledDesign& compiled,
+                       const PowerModel& power) {
+  const netlist::Netlist& design = compiled.design();
+
+  GateId max_group = 0;
+  for (const auto& gate : design.gates()) {
+    max_group = std::max(max_group, gate.group);
+  }
+  const std::size_t group_count = static_cast<std::size_t>(max_group) + 1;
+
+  std::vector<std::uint32_t> group_size(group_count, 0);
+  group_measured_.assign(group_count, false);
+  for (const GateId g : power.active_gates()) {
+    group_size[design.gate(g).group]++;
+    group_measured_[design.gate(g).group] = true;
+  }
+
+  // Multi-member groups need real-valued samples; single-member groups use
+  // the binary counting fast path.
+  group_multi_index_.assign(group_count, kNotMulti);
+  for (GateId grp = 0; grp < group_count; ++grp) {
+    if (group_size[grp] > 1) {
+      group_multi_index_[grp] =
+          static_cast<std::uint32_t>(multi_group_ids_.size());
+      multi_group_ids_.push_back(grp);
+    }
+  }
+
+  // active_gates() is ascending by id, so singles_ and multis_ inherit the
+  // ascending-GateId order the accumulation contract requires.
+  single_energy_.assign(group_count, 0.0);
+  for (const GateId g : power.active_gates()) {
+    const GateId grp = design.gate(g).group;
+    const std::uint32_t multi = group_multi_index_[grp];
+    if (multi == kNotMulti) {
+      single_energy_[grp] = power.gate_energy(g);
+      singles_.push_back(SingleOp{compiled.toggle_slot(g), grp});
+    } else {
+      multis_.push_back(
+          MultiOp{compiled.toggle_slot(g), multi, power.gate_energy(g)});
+    }
+  }
+}
+
+}  // namespace polaris::power

@@ -1,0 +1,80 @@
+// Compiled sampling plan: the fused toggle/energy readout layout shared by
+// power::PowerModel consumers and tvla campaigns.
+//
+// Built once per (design, power model, compiled plan) triple, it resolves
+// every active gate (nonzero switching energy) to its compiled toggle slot
+// and pre-buckets the set by TVLA group:
+//  * singles - groups with exactly one active member: the binary-counting
+//    fast path (per-trace sample is 0 or the member's energy);
+//  * multis  - members of groups with >= 2 active cells (masked composite
+//    gates), laid out as an SoA run of (toggle slot, multi index, energy).
+//
+// Accumulation-order contract (what keeps golden t-stats bit-identical):
+// members are stored in ascending GateId order - globally, and therefore
+// within every group - so the per-group double accumulation order of
+// lane-energy sums is exactly the ascending-id order the pre-compiled
+// sampler used. Integer single counters are order-free; only the multi
+// buckets carry float order, and that order is preserved.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "power/power_model.hpp"
+#include "sim/compiled.hpp"
+
+namespace polaris::power {
+
+class SamplePlan {
+ public:
+  static constexpr std::uint32_t kNotMulti = 0xffffffffU;
+
+  /// `compiled` must be a plan for the same netlist `power` was built on.
+  SamplePlan(const sim::CompiledDesign& compiled, const PowerModel& power);
+
+  /// One lone-member group: read one toggle word, count set lanes.
+  struct SingleOp {
+    std::uint32_t toggle_slot;
+    netlist::GateId group;
+  };
+  /// One member of a multi-member group: accumulate `energy` into the
+  /// group's per-lane sums for each set toggle bit.
+  struct MultiOp {
+    std::uint32_t toggle_slot;
+    std::uint32_t multi;  // dense index into the multi-group space
+    double energy;
+  };
+
+  [[nodiscard]] const std::vector<SingleOp>& singles() const { return singles_; }
+  [[nodiscard]] const std::vector<MultiOp>& multis() const { return multis_; }
+
+  /// Total leakage-accounting groups (max gate group id + 1).
+  [[nodiscard]] std::size_t group_count() const { return group_measured_.size(); }
+  /// Groups with at least one active member (the measurable set).
+  [[nodiscard]] const std::vector<bool>& group_measured() const {
+    return group_measured_;
+  }
+  [[nodiscard]] std::size_t multi_group_count() const {
+    return multi_group_ids_.size();
+  }
+  /// Dense multi index of a group, or kNotMulti for single/empty groups.
+  [[nodiscard]] std::uint32_t group_multi_index(netlist::GateId group) const {
+    return group_multi_index_[group];
+  }
+  /// Lone member's switching energy for single groups (0 otherwise): places
+  /// the binary {0, E} samples on the physical scale the noise floor lives on.
+  [[nodiscard]] double single_energy(netlist::GateId group) const {
+    return single_energy_[group];
+  }
+
+ private:
+  std::vector<SingleOp> singles_;
+  std::vector<MultiOp> multis_;
+  std::vector<bool> group_measured_;
+  std::vector<std::uint32_t> group_multi_index_;
+  std::vector<netlist::GateId> multi_group_ids_;
+  std::vector<double> single_energy_;
+};
+
+}  // namespace polaris::power

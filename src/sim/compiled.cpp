@@ -1,0 +1,265 @@
+#include "sim/compiled.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+namespace polaris::sim {
+
+using netlist::CellType;
+using netlist::GateId;
+using netlist::NetId;
+
+namespace {
+
+constexpr std::uint32_t kUnassigned = 0xffffffffU;
+
+void check_arity_or_throw(CellType type, std::size_t fan_in) {
+  const netlist::Arity arity = netlist::arity_of(type);
+  if (fan_in < arity.min || (arity.max != 0 && fan_in > arity.max)) {
+    throw std::invalid_argument(
+        "CompiledDesign: cell " + std::string(netlist::to_string(type)) +
+        " has invalid fan-in " + std::to_string(fan_in));
+  }
+}
+
+}  // namespace
+
+CompiledDesign::OpKernel CompiledDesign::select_kernel(CellType type,
+                                                       std::size_t fan_in) {
+  using K = CompiledDesign::OpKernel;
+  switch (type) {
+    case CellType::kBuf: return K::kBuf;
+    case CellType::kNot: return K::kNot;
+    case CellType::kMux: return K::kMux;
+    case CellType::kAnd: return fan_in == 2 ? K::kAnd2 : K::kAndN;
+    case CellType::kOr: return fan_in == 2 ? K::kOr2 : K::kOrN;
+    case CellType::kNand: return fan_in == 2 ? K::kNand2 : K::kNandN;
+    case CellType::kNor: return fan_in == 2 ? K::kNor2 : K::kNorN;
+    case CellType::kXor: return fan_in == 2 ? K::kXor2 : K::kXorN;
+    case CellType::kXnor: return fan_in == 2 ? K::kXnor2 : K::kXnorN;
+    default:
+      throw std::invalid_argument(
+          "CompiledDesign: cell kind not evaluable by the combinational "
+          "wave: " +
+          std::string(netlist::to_string(type)));
+  }
+}
+
+CompiledDesign::CompiledDesign(const netlist::Netlist& netlist)
+    : netlist_(&netlist) {
+  const auto order = netlist.topological_order();  // throws on comb cycles
+
+  slot_of_net_.assign(netlist.net_count(), kUnassigned);
+  std::uint32_t next_slot = 0;
+  const auto assign = [&](NetId net) {
+    if (slot_of_net_[net] == kUnassigned) slot_of_net_[net] = next_slot++;
+    return slot_of_net_[net];
+  };
+
+  // Slot order: sources first (ascending GateId - for kRand cells this IS
+  // the per-cycle RNG draw order, so it must match the reference
+  // simulator's source sweep), then DFF q outputs, then combinational
+  // outputs in schedule order, then any undriven leftover nets.
+  for (GateId g = 0; g < netlist.gate_count(); ++g) {
+    const auto& gate = netlist.gate(g);
+    switch (gate.type) {
+      case CellType::kInput:
+        assign(gate.output);
+        break;
+      case CellType::kConst0:
+        const0_slots_.push_back(assign(gate.output));
+        break;
+      case CellType::kConst1:
+        const1_slots_.push_back(assign(gate.output));
+        break;
+      case CellType::kRand:
+        rand_slots_.push_back(assign(gate.output));
+        break;
+      default:
+        break;
+    }
+  }
+  std::vector<std::pair<std::uint32_t, NetId>> dff_q_dnet;  // d resolved below
+  for (GateId g = 0; g < netlist.gate_count(); ++g) {
+    const auto& gate = netlist.gate(g);
+    if (gate.type != CellType::kDff) continue;
+    check_arity_or_throw(gate.type, gate.inputs.size());
+    dff_q_dnet.emplace_back(assign(gate.output), gate.inputs[0]);
+  }
+
+  // Levelize the combinational gates (validating each one), then batch
+  // each level by (cell type, fan-in). The map key order - and ascending
+  // GateId within each bucket - makes the emitted plan a pure function of
+  // the netlist, independent of topological_order()'s pop order.
+  std::vector<std::uint32_t> level(netlist.gate_count(), 0);
+  std::vector<std::vector<GateId>> by_level;
+  for (const GateId g : order) {
+    const auto& gate = netlist.gate(g);
+    if (!netlist::is_combinational(gate.type)) continue;
+    check_arity_or_throw(gate.type, gate.inputs.size());
+    (void)select_kernel(gate.type, gate.inputs.size());  // kind evaluable?
+    std::uint32_t lvl = 0;
+    for (const NetId in : gate.inputs) {
+      const GateId driver = netlist.net(in).driver;
+      if (netlist::is_combinational(netlist.gate(driver).type)) {
+        lvl = std::max(lvl, level[driver] + 1);
+      }
+    }
+    level[g] = lvl;
+    if (by_level.size() <= lvl) by_level.resize(lvl + 1);
+    by_level[lvl].push_back(g);
+  }
+  level_count_ = by_level.size();
+
+  for (auto& gates_in_level : by_level) {
+    std::map<std::pair<CellType, std::uint32_t>, std::vector<GateId>> buckets;
+    std::sort(gates_in_level.begin(), gates_in_level.end());
+    for (const GateId g : gates_in_level) {
+      const auto& gate = netlist.gate(g);
+      buckets[{gate.type, static_cast<std::uint32_t>(gate.inputs.size())}]
+          .push_back(g);
+    }
+    for (const auto& [key, members] : buckets) {
+      OpRun run;
+      run.kernel = select_kernel(key.first, key.second);
+      run.fan_in = key.second;
+      run.op_begin = static_cast<std::uint32_t>(op_out_slots_.size());
+      run.op_count = static_cast<std::uint32_t>(members.size());
+      run.input_base = static_cast<std::uint32_t>(op_input_slots_.size());
+      for (const GateId g : members) {
+        const auto& gate = netlist.gate(g);
+        // Operands live strictly below this level (or are sources/DFF q),
+        // so their slots are already assigned.
+        for (const NetId in : gate.inputs) {
+          op_input_slots_.push_back(slot_of_net_[in]);
+        }
+        op_out_slots_.push_back(assign(gate.output));
+      }
+      runs_.push_back(run);
+    }
+  }
+
+  // Undriven (construction-leftover) nets still deserve stable slots so
+  // value(net) stays total.
+  for (NetId n = 0; n < netlist.net_count(); ++n) {
+    (void)assign(n);
+  }
+
+  dff_qd_slots_.reserve(dff_q_dnet.size());
+  for (const auto& [q_slot, d_net] : dff_q_dnet) {
+    dff_qd_slots_.emplace_back(q_slot, slot_of_net_[d_net]);
+  }
+  out_slot_of_gate_.resize(netlist.gate_count());
+  for (GateId g = 0; g < netlist.gate_count(); ++g) {
+    out_slot_of_gate_[g] = slot_of_net_[netlist.gate(g).output];
+  }
+  pi_slots_.reserve(netlist.primary_inputs().size());
+  for (const NetId net : netlist.primary_inputs()) {
+    pi_slots_.push_back(slot_of_net_[net]);
+  }
+  po_slots_.reserve(netlist.primary_outputs().size());
+  for (const NetId net : netlist.primary_outputs()) {
+    po_slots_.push_back(slot_of_net_[net]);
+  }
+}
+
+void CompiledDesign::eval_comb(std::uint64_t* values,
+                               std::uint64_t* toggles) const {
+  for (const OpRun& run : runs_) {
+    const std::uint32_t* out = op_out_slots_.data() + run.op_begin;
+    const std::uint32_t* in = op_input_slots_.data() + run.input_base;
+    const std::size_t n = run.op_count;
+    const std::size_t k = run.fan_in;
+    switch (run.kernel) {
+      case OpKernel::kBuf:
+        for (std::size_t i = 0; i < n; ++i) {
+          write_slot(values, toggles, out[i], values[in[i]]);
+        }
+        break;
+      case OpKernel::kNot:
+        for (std::size_t i = 0; i < n; ++i) {
+          write_slot(values, toggles, out[i], ~values[in[i]]);
+        }
+        break;
+      case OpKernel::kMux:
+        for (std::size_t i = 0; i < n; ++i) {
+          const std::uint64_t sel = values[in[3 * i]];
+          write_slot(values, toggles, out[i],
+                     (sel & values[in[3 * i + 2]]) |
+                         (~sel & values[in[3 * i + 1]]));
+        }
+        break;
+      case OpKernel::kAnd2:
+        for (std::size_t i = 0; i < n; ++i) {
+          write_slot(values, toggles, out[i],
+                     values[in[2 * i]] & values[in[2 * i + 1]]);
+        }
+        break;
+      case OpKernel::kOr2:
+        for (std::size_t i = 0; i < n; ++i) {
+          write_slot(values, toggles, out[i],
+                     values[in[2 * i]] | values[in[2 * i + 1]]);
+        }
+        break;
+      case OpKernel::kNand2:
+        for (std::size_t i = 0; i < n; ++i) {
+          write_slot(values, toggles, out[i],
+                     ~(values[in[2 * i]] & values[in[2 * i + 1]]));
+        }
+        break;
+      case OpKernel::kNor2:
+        for (std::size_t i = 0; i < n; ++i) {
+          write_slot(values, toggles, out[i],
+                     ~(values[in[2 * i]] | values[in[2 * i + 1]]));
+        }
+        break;
+      case OpKernel::kXor2:
+        for (std::size_t i = 0; i < n; ++i) {
+          write_slot(values, toggles, out[i],
+                     values[in[2 * i]] ^ values[in[2 * i + 1]]);
+        }
+        break;
+      case OpKernel::kXnor2:
+        for (std::size_t i = 0; i < n; ++i) {
+          write_slot(values, toggles, out[i],
+                     ~(values[in[2 * i]] ^ values[in[2 * i + 1]]));
+        }
+        break;
+      case OpKernel::kAndN:
+      case OpKernel::kNandN:
+        for (std::size_t i = 0; i < n; ++i) {
+          std::uint64_t acc = ~0ULL;
+          for (std::size_t j = 0; j < k; ++j) acc &= values[in[i * k + j]];
+          write_slot(values, toggles, out[i],
+                     run.kernel == OpKernel::kAndN ? acc : ~acc);
+        }
+        break;
+      case OpKernel::kOrN:
+      case OpKernel::kNorN:
+        for (std::size_t i = 0; i < n; ++i) {
+          std::uint64_t acc = 0;
+          for (std::size_t j = 0; j < k; ++j) acc |= values[in[i * k + j]];
+          write_slot(values, toggles, out[i],
+                     run.kernel == OpKernel::kOrN ? acc : ~acc);
+        }
+        break;
+      case OpKernel::kXorN:
+      case OpKernel::kXnorN:
+        for (std::size_t i = 0; i < n; ++i) {
+          std::uint64_t acc = 0;
+          for (std::size_t j = 0; j < k; ++j) acc ^= values[in[i * k + j]];
+          write_slot(values, toggles, out[i],
+                     run.kernel == OpKernel::kXorN ? acc : ~acc);
+        }
+        break;
+    }
+  }
+}
+
+CompiledDesignPtr compile(const netlist::Netlist& netlist) {
+  return std::make_shared<const CompiledDesign>(netlist);
+}
+
+}  // namespace polaris::sim

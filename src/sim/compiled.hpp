@@ -1,0 +1,132 @@
+// Compile-once execution kernel for the bit-parallel simulator.
+//
+// A CompiledDesign is an immutable evaluation plan built once per netlist
+// and shared (via shared_ptr) by every Simulator over that design: a TVLA
+// campaign compiles in its constructor and hands the same plan to all of
+// its shards, so per-shard setup no longer re-runs topological_order() or
+// rebuilds a schedule.
+//
+// What compilation does:
+//  * dense net renumbering - every net is mapped to a value *slot*,
+//    sources first and combinational outputs in schedule order, so the hot
+//    loop walks the value array forward;
+//  * levelized, type-batched schedule - combinational gates are levelized
+//    and, within each level, batched by opcode (cell type x uniform
+//    fan-in) into contiguous *op runs*: one kernel dispatch per run and a
+//    tight branch-free loop inside it, instead of a per-gate
+//    eval_cell_word switch;
+//  * compile-time validation - cell kinds and fan-in arity are checked
+//    once here (throws std::invalid_argument), so eval() carries no
+//    per-gate checks and no fan-in cap: n-ary kernels accumulate straight
+//    from the value array, with no operand staging buffer.
+//
+// Toggle contract: toggles are computed at write time (old XOR new, per
+// written slot), which removes the previous_ = values_ full-vector copy
+// the interpreter paid every cycle. Slots eval() does not write (primary
+// inputs, which are staged by set_input* before the call) keep toggle 0,
+// exactly matching the reference snapshot semantics. sim::ReferenceSimulator
+// (reference.hpp) keeps the old gate-by-gate evaluator as the oracle the
+// property tests compare against.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace polaris::sim {
+
+class Simulator;
+
+/// Write-time toggle update - THE invariant behind every bit-identity
+/// guarantee, shared by the compiled combinational wave and the
+/// simulator's source refresh: each slot is written at most once per
+/// eval(), so old XOR new equals the value change since the previous eval.
+inline void write_slot(std::uint64_t* values, std::uint64_t* toggles,
+                       std::uint32_t slot, std::uint64_t value) noexcept {
+  toggles[slot] = values[slot] ^ value;
+  values[slot] = value;
+}
+
+class CompiledDesign {
+ public:
+  /// Compiles `netlist` (must outlive the plan). Throws
+  /// std::invalid_argument on an arity violation or a non-evaluable cell
+  /// kind, std::runtime_error on a combinational cycle - after
+  /// construction, evaluation cannot fail.
+  explicit CompiledDesign(const netlist::Netlist& netlist);
+
+  [[nodiscard]] const netlist::Netlist& design() const { return *netlist_; }
+
+  /// Number of value slots (== the design's net count).
+  [[nodiscard]] std::size_t slot_count() const { return slot_of_net_.size(); }
+  /// Value slot of a net.
+  [[nodiscard]] std::uint32_t slot(netlist::NetId net) const {
+    return slot_of_net_[net];
+  }
+  /// Toggle/value slot of a gate's output net. Sampling plans resolve
+  /// these once and index the simulator's toggle words directly.
+  [[nodiscard]] std::uint32_t toggle_slot(netlist::GateId gate) const {
+    return out_slot_of_gate_[gate];
+  }
+
+  [[nodiscard]] std::size_t level_count() const { return level_count_; }
+  [[nodiscard]] std::size_t run_count() const { return runs_.size(); }
+  [[nodiscard]] std::size_t dff_count() const { return dff_qd_slots_.size(); }
+
+ private:
+  friend class Simulator;
+
+  /// Specialized kernels: the common 1/2/3-operand shapes get dedicated
+  /// loops; kXxxN handles any wider fan-in with an accumulator loop.
+  enum class OpKernel : std::uint8_t {
+    kBuf, kNot, kMux,
+    kAnd2, kOr2, kNand2, kNor2, kXor2, kXnor2,
+    kAndN, kOrN, kNandN, kNorN, kXorN, kXnorN,
+  };
+
+  /// A contiguous batch of same-kernel, same-fan-in ops within one level.
+  /// Op i of the run writes op_out_slots_[op_begin + i] and reads its
+  /// fan_in operands at op_input_slots_[input_base + i * fan_in].
+  struct OpRun {
+    OpKernel kernel;
+    std::uint32_t fan_in;
+    std::uint32_t op_begin;
+    std::uint32_t op_count;
+    std::uint32_t input_base;
+  };
+
+  /// Kernel selection doubles as the compile-time cell-kind check: throws
+  /// std::invalid_argument for cells the combinational wave cannot evaluate.
+  static OpKernel select_kernel(netlist::CellType type, std::size_t fan_in);
+
+  /// Runs the full combinational wave over `values`, recording write-time
+  /// toggles into `toggles` (both sized slot_count()).
+  void eval_comb(std::uint64_t* values, std::uint64_t* toggles) const;
+
+  const netlist::Netlist* netlist_;
+  std::vector<std::uint32_t> slot_of_net_;      // NetId -> slot
+  std::vector<std::uint32_t> out_slot_of_gate_; // GateId -> output slot
+
+  std::vector<std::uint32_t> const0_slots_, const1_slots_;
+  std::vector<std::uint32_t> rand_slots_;  // ascending GateId: the kRand
+                                           // refresh order IS the RNG
+                                           // stream order (determinism)
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> dff_qd_slots_;  // (q, d)
+  std::vector<std::uint32_t> pi_slots_;  // primary_inputs() order
+  std::vector<std::uint32_t> po_slots_;  // primary_outputs() order
+
+  std::vector<OpRun> runs_;
+  std::vector<std::uint32_t> op_out_slots_;
+  std::vector<std::uint32_t> op_input_slots_;
+  std::size_t level_count_ = 0;
+};
+
+using CompiledDesignPtr = std::shared_ptr<const CompiledDesign>;
+
+/// Compiles a netlist into a shareable plan. The netlist must outlive the
+/// returned plan (campaigns keep the design alive for their whole run).
+[[nodiscard]] CompiledDesignPtr compile(const netlist::Netlist& netlist);
+
+}  // namespace polaris::sim

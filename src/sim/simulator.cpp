@@ -2,131 +2,103 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace polaris::sim {
 
 using netlist::CellType;
-using netlist::GateId;
 using netlist::NetId;
 
 Simulator::Simulator(const netlist::Netlist& netlist, std::uint64_t seed)
-    : netlist_(netlist), rng_(seed) {
-  const auto order = netlist.topological_order();  // validates acyclicity
-  for (const GateId g : order) {
-    const auto& gate = netlist.gate(g);
-    switch (gate.type) {
-      case CellType::kInput:
-        break;  // written by set_input*
-      case CellType::kConst0:
-        const0_nets_.push_back(gate.output);
-        break;
-      case CellType::kConst1:
-        const1_nets_.push_back(gate.output);
-        break;
-      case CellType::kRand:
-        rand_nets_.push_back(gate.output);
-        break;
-      case CellType::kDff:
-        dff_q_d_.emplace_back(gate.output, gate.inputs[0]);
-        break;
-      default: {
-        Op op;
-        op.type = gate.type;
-        op.fan_in = static_cast<std::uint32_t>(gate.inputs.size());
-        op.input_offset = static_cast<std::uint32_t>(input_nets_.size());
-        op.output = gate.output;
-        op.gate = g;
-        input_nets_.insert(input_nets_.end(), gate.inputs.begin(),
-                           gate.inputs.end());
-        comb_schedule_.push_back(op);
-        break;
-      }
-    }
-  }
-  values_.assign(netlist.net_count(), 0);
-  previous_.assign(netlist.net_count(), 0);
-  dff_state_.assign(dff_q_d_.size(), 0);
+    : Simulator(compile(netlist), seed) {}
+
+Simulator::Simulator(CompiledDesignPtr compiled, std::uint64_t seed)
+    : compiled_(std::move(compiled)), rng_(seed) {
+  values_.assign(compiled_->slot_count(), 0);
+  toggles_.assign(compiled_->slot_count(), 0);
+  dff_state_.assign(compiled_->dff_count(), 0);
 }
 
 void Simulator::set_input(std::size_t pi_index, std::uint64_t word) {
-  values_[netlist_.primary_inputs().at(pi_index)] = word;
+  values_[compiled_->pi_slots_.at(pi_index)] = word;
 }
 
 void Simulator::set_input_net(NetId net, std::uint64_t word) {
-  if (netlist_.gate(netlist_.net(net).driver).type != CellType::kInput) {
+  const auto& netlist = compiled_->design();
+  if (netlist.gate(netlist.net(net).driver).type != CellType::kInput) {
     throw std::invalid_argument("set_input_net: not a primary-input net");
   }
-  values_[net] = word;
+  values_[compiled_->slot(net)] = word;
 }
 
 void Simulator::set_inputs_random() {
-  for (const NetId net : netlist_.primary_inputs()) values_[net] = rng_();
+  for (const std::uint32_t slot : compiled_->pi_slots_) values_[slot] = rng_();
 }
 
 void Simulator::set_inputs_mixed(const std::vector<bool>& fixed,
                                  std::uint64_t fixed_mask) {
-  const auto& inputs = netlist_.primary_inputs();
-  if (fixed.size() != inputs.size()) {
+  const auto& slots = compiled_->pi_slots_;
+  if (fixed.size() != slots.size()) {
     throw std::invalid_argument("set_inputs_mixed: fixed vector size mismatch");
   }
-  for (std::size_t i = 0; i < inputs.size(); ++i) {
+  for (std::size_t i = 0; i < slots.size(); ++i) {
     const std::uint64_t fixed_word = fixed[i] ? ~0ULL : 0ULL;
-    values_[inputs[i]] = (fixed_word & fixed_mask) | (rng_() & ~fixed_mask);
+    values_[slots[i]] = (fixed_word & fixed_mask) | (rng_() & ~fixed_mask);
   }
 }
 
 void Simulator::eval() {
-  // Snapshot for toggle computation. The snapshot is taken before sources
-  // are refreshed so kRand/DFF/const toggles are visible to the power model;
-  // primary inputs were staged into values_ already, so their own toggles
-  // read as zero (PI pad power is excluded by the tech library anyway).
-  previous_ = values_;
+  // Source refresh, then the compiled combinational wave. Toggles are
+  // recorded as each slot is written; primary-input slots were staged by
+  // set_input* outside eval(), so their toggles stay 0 (PI pad power is
+  // excluded by the tech library anyway).
+  std::uint64_t* values = values_.data();
+  std::uint64_t* toggles = toggles_.data();
+  const CompiledDesign& plan = *compiled_;
 
-  for (const NetId net : const0_nets_) values_[net] = 0;
-  for (const NetId net : const1_nets_) values_[net] = ~0ULL;
-  for (const NetId net : rand_nets_) values_[net] = rng_();
-  for (std::size_t i = 0; i < dff_q_d_.size(); ++i) {
-    values_[dff_q_d_[i].first] = dff_state_[i];
+  for (const std::uint32_t slot : plan.const0_slots_) {
+    write_slot(values, toggles, slot, 0);
   }
-
-  std::uint64_t operands[16];
-  for (const Op& op : comb_schedule_) {
-    const NetId* in = &input_nets_[op.input_offset];
-    if (op.fan_in > 16) throw std::runtime_error("fan-in > 16 unsupported in sim");
-    for (std::uint32_t i = 0; i < op.fan_in; ++i) operands[i] = values_[in[i]];
-    values_[op.output] =
-        netlist::eval_cell_word(op.type, {operands, op.fan_in});
+  for (const std::uint32_t slot : plan.const1_slots_) {
+    write_slot(values, toggles, slot, ~0ULL);
   }
+  for (const std::uint32_t slot : plan.rand_slots_) {
+    write_slot(values, toggles, slot, rng_());
+  }
+  for (std::size_t i = 0; i < plan.dff_qd_slots_.size(); ++i) {
+    write_slot(values, toggles, plan.dff_qd_slots_[i].first, dff_state_[i]);
+  }
+  plan.eval_comb(values, toggles);
   ++cycle_;
 }
 
 void Simulator::latch() {
-  for (std::size_t i = 0; i < dff_q_d_.size(); ++i) {
-    dff_state_[i] = values_[dff_q_d_[i].second];
+  for (std::size_t i = 0; i < compiled_->dff_qd_slots_.size(); ++i) {
+    dff_state_[i] = values_[compiled_->dff_qd_slots_[i].second];
   }
 }
 
 void Simulator::reset(std::uint64_t seed) {
   rng_ = util::Xoshiro256(seed);
   std::fill(values_.begin(), values_.end(), 0);
-  std::fill(previous_.begin(), previous_.end(), 0);
+  std::fill(toggles_.begin(), toggles_.end(), 0);
   std::fill(dff_state_.begin(), dff_state_.end(), 0);
   cycle_ = 0;
 }
 
 std::vector<bool> Simulator::eval_single(const std::vector<bool>& bits) {
-  const auto& inputs = netlist_.primary_inputs();
-  if (bits.size() != inputs.size()) {
+  const auto& slots = compiled_->pi_slots_;
+  if (bits.size() != slots.size()) {
     throw std::invalid_argument("eval_single: input size mismatch");
   }
-  for (std::size_t i = 0; i < inputs.size(); ++i) {
-    values_[inputs[i]] = bits[i] ? ~0ULL : 0ULL;  // broadcast, lane 0 read back
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    values_[slots[i]] = bits[i] ? ~0ULL : 0ULL;  // broadcast, lane 0 read back
   }
   eval();
   std::vector<bool> out;
-  out.reserve(netlist_.primary_outputs().size());
-  for (const NetId net : netlist_.primary_outputs()) {
-    out.push_back((values_[net] & 1ULL) != 0);
+  out.reserve(compiled_->po_slots_.size());
+  for (const std::uint32_t slot : compiled_->po_slots_) {
+    out.push_back((values_[slot] & 1ULL) != 0);
   }
   return out;
 }

@@ -3,10 +3,19 @@
 // Each std::uint64_t word holds one signal across 64 independent simulation
 // lanes (traces). One eval() is one clock cycle: sources are refreshed
 // (constants, fresh mask randomness, DFF state), then the combinational wave
-// runs in topological order. latch() commits DFF next-state.
+// runs through the compiled, type-batched schedule. latch() commits DFF
+// next-state.
 //
-// Toggle words (value XOR previous value, per gate output) are the input to
-// the Hamming-distance power model (power module) and to TVLA accumulation.
+// The Simulator is a thin mutable state - value words, toggle words, DFF
+// state, the mask-share RNG - over a shared immutable CompiledDesign
+// (compiled.hpp). Construct it from a netlist for one-off use (compiles
+// privately) or from a CompiledDesignPtr to share one plan across many
+// simulators: a TVLA campaign compiles once and every shard reuses the plan.
+//
+// Toggle words (value XOR value-at-previous-eval, per gate output) are the
+// input to the Hamming-distance power model (power module) and to TVLA
+// accumulation. They are maintained at write time by the kernel - slots not
+// written by eval(), i.e. primary inputs staged via set_input*, read as 0.
 //
 // Model notes (documented substitutions, see DESIGN.md):
 //  * zero-delay evaluation - no glitch power;
@@ -19,6 +28,7 @@
 #include <vector>
 
 #include "netlist/netlist.hpp"
+#include "sim/compiled.hpp"
 #include "util/rng.hpp"
 
 namespace polaris::sim {
@@ -27,10 +37,17 @@ inline constexpr std::size_t kLanes = 64;
 
 class Simulator {
  public:
+  /// Convenience: compiles the netlist privately. Prefer the shared-plan
+  /// constructor when many simulators run the same design.
   explicit Simulator(const netlist::Netlist& netlist,
                      std::uint64_t seed = 0x51313ab1e5eedULL);
+  explicit Simulator(CompiledDesignPtr compiled,
+                     std::uint64_t seed = 0x51313ab1e5eedULL);
 
-  [[nodiscard]] const netlist::Netlist& design() const { return netlist_; }
+  [[nodiscard]] const netlist::Netlist& design() const {
+    return compiled_->design();
+  }
+  [[nodiscard]] const CompiledDesignPtr& compiled() const { return compiled_; }
 
   /// Sets the 64-lane value of the i-th primary input for the next eval().
   void set_input(std::size_t pi_index, std::uint64_t word);
@@ -44,6 +61,7 @@ class Simulator {
   void set_inputs_mixed(const std::vector<bool>& fixed, std::uint64_t fixed_mask);
 
   /// One combinational evaluation (one cycle worth of settled values).
+  /// Never throws: the plan was validated at compile time.
   void eval();
   /// Commits DFF next state (q <= d). No-op for purely combinational designs.
   void latch();
@@ -55,12 +73,16 @@ class Simulator {
   void reseed(std::uint64_t seed) { rng_ = util::Xoshiro256(seed); }
 
   [[nodiscard]] std::uint64_t value(netlist::NetId net) const {
-    return values_[net];
+    return values_[compiled_->slot(net)];
   }
   /// Output-toggle word of a gate: value XOR value-at-previous-eval.
   [[nodiscard]] std::uint64_t toggles(netlist::GateId gate) const {
-    const netlist::NetId out = netlist_.gate(gate).output;
-    return values_[out] ^ previous_[out];
+    return toggles_[compiled_->toggle_slot(gate)];
+  }
+  /// Raw toggle words indexed by compiled slot: sampling plans resolve
+  /// CompiledDesign::toggle_slot once and read this array directly.
+  [[nodiscard]] const std::uint64_t* toggle_words() const {
+    return toggles_.data();
   }
 
   /// Single-lane convenience for functional tests: applies `bits` to the
@@ -72,22 +94,10 @@ class Simulator {
   [[nodiscard]] std::uint64_t cycle() const { return cycle_; }
 
  private:
-  struct Op {
-    netlist::CellType type;
-    std::uint32_t fan_in;
-    std::uint32_t input_offset;  // into input_nets_
-    netlist::NetId output;
-    netlist::GateId gate;
-  };
-
-  const netlist::Netlist& netlist_;
+  CompiledDesignPtr compiled_;
   util::Xoshiro256 rng_;
-  std::vector<Op> comb_schedule_;       // combinational gates, topo order
-  std::vector<netlist::NetId> input_nets_;  // flattened operand lists
-  std::vector<netlist::NetId> const0_nets_, const1_nets_, rand_nets_;
-  std::vector<std::pair<netlist::NetId, netlist::NetId>> dff_q_d_;  // (q, d)
   std::vector<std::uint64_t> values_;
-  std::vector<std::uint64_t> previous_;
+  std::vector<std::uint64_t> toggles_;
   std::vector<std::uint64_t> dff_state_;
   std::uint64_t cycle_ = 0;
 };

@@ -4,10 +4,13 @@
 #include <cmath>
 #include <memory>
 #include <stdexcept>
+#include <utility>
 
 #include "engine/scheduler.hpp"
 #include "engine/trace_engine.hpp"
 #include "power/power_model.hpp"
+#include "power/sample_plan.hpp"
+#include "sim/compiled.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 
@@ -77,16 +80,28 @@ std::vector<bool> derive_fixed_vector(std::size_t n, std::uint64_t seed) {
   return bits;
 }
 
-/// Thin protocol layer: owns the campaign-wide, read-only context (design,
-/// power model, group layout, fixed vectors) and defines how one batch of
-/// traces is stimulated and sampled. Execution and merging belong to the
-/// trace engine; all mutable per-shard state lives in ShardState.
+/// Thin protocol layer: owns the campaign-wide, read-only context (the
+/// compiled design plan, power model, sampling plan, fixed vectors) and
+/// defines how one batch of traces is stimulated and sampled. The design
+/// is compiled ONCE here; every shard's Simulator shares the plan, so
+/// per-shard setup never re-runs topological_order() or rebuilds a
+/// schedule. Execution and merging belong to the trace engine; all mutable
+/// per-shard state lives in ShardState.
 class Campaign {
  public:
   Campaign(const netlist::Netlist& design, const techlib::TechLibrary& lib,
            const TvlaConfig& config, Mode mode)
-      : design_(design), config_(config), mode_(mode), power_(design, lib) {
-    const std::size_t n_inputs = design.primary_inputs().size();
+      : Campaign(sim::compile(design), lib, config, mode) {}
+
+  Campaign(sim::CompiledDesignPtr compiled, const techlib::TechLibrary& lib,
+           const TvlaConfig& config, Mode mode)
+      : design_(compiled->design()),
+        config_(config),
+        mode_(mode),
+        compiled_(std::move(compiled)),
+        power_(design_, lib),
+        plan_(*compiled_, power_) {
+    const std::size_t n_inputs = design_.primary_inputs().size();
     fixed_a_ = config.fixed_input.empty()
                    ? derive_fixed_vector(n_inputs, config.seed ^ 0xf1e1dcafeULL)
                    : config.fixed_input;
@@ -100,7 +115,6 @@ class Campaign {
       throw std::invalid_argument("TVLA input_class size mismatch");
     }
     sequential_ = design_has_dff();
-    classify_groups();
   }
 
   /// Trace budget in whole 64-lane batches (sequential designs pack
@@ -163,11 +177,10 @@ class Campaign {
   };
 
   [[nodiscard]] ShardState make_shard_state() const {
-    return ShardState{sim::Simulator(design_, /*seed=*/0),
-                      util::Xoshiro256(0),
-                      CampaignMoments(group_count_, multi_group_ids_.size()),
-                      std::vector<double>(multi_group_ids_.size() * sim::kLanes,
-                                          0.0)};
+    return ShardState{
+        sim::Simulator(compiled_, /*seed=*/0), util::Xoshiro256(0),
+        CampaignMoments(plan_.group_count(), plan_.multi_group_count()),
+        std::vector<double>(plan_.multi_group_count() * sim::kLanes, 0.0)};
   }
 
   [[nodiscard]] bool design_has_dff() const {
@@ -175,42 +188,6 @@ class Campaign {
       if (gate.type == netlist::CellType::kDff) return true;
     }
     return false;
-  }
-
-  void classify_groups() {
-    GateId max_group = 0;
-    for (const auto& gate : design_.gates()) {
-      max_group = std::max(max_group, gate.group);
-    }
-    group_count_ = static_cast<std::size_t>(max_group) + 1;
-
-    std::vector<std::uint32_t> group_size(group_count_, 0);
-    for (const GateId g : power_.active_gates()) {
-      group_size[design_.gate(g).group]++;
-    }
-    group_measured_.assign(group_count_, false);
-    group_multi_index_.assign(group_count_, kNotMulti);
-    for (const GateId g : power_.active_gates()) {
-      group_measured_[design_.gate(g).group] = true;
-    }
-    // Multi-member groups need real-valued samples; single-member groups use
-    // the binary counting fast path.
-    for (GateId grp = 0; grp < group_count_; ++grp) {
-      if (group_size[grp] > 1) {
-        group_multi_index_[grp] = static_cast<std::uint32_t>(multi_group_ids_.size());
-        multi_group_ids_.push_back(grp);
-      }
-    }
-    // For single-member groups the binary counters need the member's energy
-    // to place the {0, E} samples on the physical scale the noise floor
-    // lives on.
-    single_energy_.assign(group_count_, 0.0);
-    for (const GateId g : power_.active_gates()) {
-      const GateId grp = design_.gate(g).group;
-      if (group_multi_index_[grp] == kNotMulti) {
-        single_energy_[grp] = power_.gate_energy(g);
-      }
-    }
   }
 
   [[nodiscard]] InputClass input_class(std::size_t pi_index) const {
@@ -285,36 +262,40 @@ class Campaign {
     }
   }
 
+  /// Fused toggle/energy readout over the compiled sampling plan: toggle
+  /// words are read straight by slot, singles feed the binary counters,
+  /// multi members accumulate pre-resolved energies into per-lane sums in
+  /// ascending-GateId order (the accumulation-order contract that keeps
+  /// every t-stat bit-identical to the interpreter).
   void sample(ShardState& state, std::uint64_t fixed_mask) const {
     const auto n_fixed =
         static_cast<std::uint64_t>(__builtin_popcountll(fixed_mask));
     state.moments.add_lane_counts(n_fixed, sim::kLanes - n_fixed);
 
-    for (const GateId g : power_.active_gates()) {
-      const std::uint64_t toggles = state.simulator.toggles(g);
+    const std::uint64_t* toggle_words = state.simulator.toggle_words();
+    for (const auto& op : plan_.singles()) {
+      const std::uint64_t toggles = toggle_words[op.toggle_slot];
       if (toggles == 0) continue;
-      const GateId group = design_.gate(g).group;
-      const std::uint32_t multi = group_multi_index_[group];
-      if (multi == kNotMulti) {
-        state.moments.add_single_ones(
-            group,
-            static_cast<std::uint64_t>(__builtin_popcountll(toggles & fixed_mask)),
-            static_cast<std::uint64_t>(
-                __builtin_popcountll(toggles & ~fixed_mask)));
-      } else {
-        const double energy = power_.gate_energy(g);
-        double* lane_sum = &state.lane_sums[multi * sim::kLanes];
-        std::uint64_t bits = toggles;
-        while (bits != 0) {
-          const int lane = __builtin_ctzll(bits);
-          lane_sum[lane] += energy;
-          bits &= bits - 1;
-        }
+      state.moments.add_single_ones(
+          op.group,
+          static_cast<std::uint64_t>(__builtin_popcountll(toggles & fixed_mask)),
+          static_cast<std::uint64_t>(
+              __builtin_popcountll(toggles & ~fixed_mask)));
+    }
+    for (const auto& op : plan_.multis()) {
+      const std::uint64_t toggles = toggle_words[op.toggle_slot];
+      if (toggles == 0) continue;
+      double* lane_sum = &state.lane_sums[op.multi * sim::kLanes];
+      std::uint64_t bits = toggles;
+      while (bits != 0) {
+        const int lane = __builtin_ctzll(bits);
+        lane_sum[lane] += op.energy;
+        bits &= bits - 1;
       }
     }
     // Every sample step contributes one sample per lane to each multi group
     // (possibly zero-valued); push and clear.
-    for (std::size_t m = 0; m < multi_group_ids_.size(); ++m) {
+    for (std::size_t m = 0; m < plan_.multi_group_count(); ++m) {
       double* lane_sum = &state.lane_sums[m * sim::kLanes];
       for (std::size_t lane = 0; lane < sim::kLanes; ++lane) {
         const bool fixed = ((fixed_mask >> lane) & 1ULL) != 0;
@@ -326,15 +307,16 @@ class Campaign {
 
   LeakageReport finalize(const CampaignMoments& moments) {
     const double noise_var = config_.noise_std_fj * config_.noise_std_fj;
-    std::vector<double> t(group_count_, 0.0);
-    for (GateId grp = 0; grp < group_count_; ++grp) {
-      if (!group_measured_[grp]) continue;
-      const std::uint32_t multi = group_multi_index_[grp];
-      if (multi == kNotMulti) {
+    std::vector<double> t(plan_.group_count(), 0.0);
+    std::vector<bool> measured = plan_.group_measured();
+    for (GateId grp = 0; grp < plan_.group_count(); ++grp) {
+      if (!measured[grp]) continue;
+      const std::uint32_t multi = plan_.group_multi_index(grp);
+      if (multi == power::SamplePlan::kNotMulti) {
         t[grp] = welch_t_binary_energy(
                      moments.n_fixed(), moments.single_ones_fixed(grp),
                      moments.n_random(), moments.single_ones_random(grp),
-                     single_energy_[grp], noise_var)
+                     plan_.single_energy(grp), noise_var)
                      .t;
       } else {
         t[grp] = welch_t(moments.multi_fixed(multi),
@@ -342,24 +324,17 @@ class Campaign {
                      .t;
       }
     }
-    return LeakageReport(std::move(t), std::move(group_measured_),
-                         config_.threshold);
+    return LeakageReport(std::move(t), std::move(measured), config_.threshold);
   }
-
-  static constexpr std::uint32_t kNotMulti = 0xffffffffU;
 
   const netlist::Netlist& design_;
   TvlaConfig config_;
   Mode mode_;
+  sim::CompiledDesignPtr compiled_;
   power::PowerModel power_;
+  power::SamplePlan plan_;
   bool sequential_ = false;
   std::vector<bool> fixed_a_, fixed_b_;
-
-  std::size_t group_count_ = 0;
-  std::vector<bool> group_measured_;
-  std::vector<std::uint32_t> group_multi_index_;
-  std::vector<GateId> multi_group_ids_;
-  std::vector<double> single_energy_;
 };
 
 }  // namespace
@@ -376,6 +351,18 @@ LeakageReport run_fixed_vs_fixed(const netlist::Netlist& design,
   return Campaign(design, lib, config, Mode::kFixedVsFixed).run();
 }
 
+LeakageReport run_fixed_vs_random(sim::CompiledDesignPtr design,
+                                  const techlib::TechLibrary& lib,
+                                  const TvlaConfig& config) {
+  return Campaign(std::move(design), lib, config, Mode::kFixedVsRandom).run();
+}
+
+LeakageReport run_fixed_vs_fixed(sim::CompiledDesignPtr design,
+                                 const techlib::TechLibrary& lib,
+                                 const TvlaConfig& config) {
+  return Campaign(std::move(design), lib, config, Mode::kFixedVsFixed).run();
+}
+
 std::future<LeakageReport> submit_fixed_vs_random(
     engine::Scheduler& scheduler, const netlist::Netlist& design,
     const techlib::TechLibrary& lib, const TvlaConfig& config) {
@@ -390,6 +377,24 @@ std::future<LeakageReport> submit_fixed_vs_fixed(
   return Campaign::submit(
       std::make_shared<Campaign>(design, lib, config, Mode::kFixedVsFixed),
       scheduler);
+}
+
+std::future<LeakageReport> submit_fixed_vs_random(
+    engine::Scheduler& scheduler, sim::CompiledDesignPtr design,
+    const techlib::TechLibrary& lib, const TvlaConfig& config) {
+  return Campaign::submit(std::make_shared<Campaign>(std::move(design), lib,
+                                                     config,
+                                                     Mode::kFixedVsRandom),
+                          scheduler);
+}
+
+std::future<LeakageReport> submit_fixed_vs_fixed(
+    engine::Scheduler& scheduler, sim::CompiledDesignPtr design,
+    const techlib::TechLibrary& lib, const TvlaConfig& config) {
+  return Campaign::submit(std::make_shared<Campaign>(std::move(design), lib,
+                                                     config,
+                                                     Mode::kFixedVsFixed),
+                          scheduler);
 }
 
 }  // namespace polaris::tvla

@@ -16,10 +16,13 @@
 // per-cycle sampling instead of vector pairs.
 //
 // Execution: campaigns are a thin protocol layer over the shard-parallel
-// trace engine (engine/trace_engine.hpp). The trace budget is split into
-// shards, each owning its own Simulator and per-batch-keyed RNG streams;
-// shard statistics are mergeable CampaignMoments combined in shard order.
-// Reports are bit-identical for every `threads` setting (see DESIGN.md).
+// trace engine (engine/trace_engine.hpp). The design is compiled once per
+// campaign (sim::CompiledDesign) together with a fused toggle/energy
+// sampling plan (power::SamplePlan); the trace budget is split into
+// shards, each owning a thin Simulator over the shared plan plus
+// per-batch-keyed RNG streams; shard statistics are mergeable
+// CampaignMoments combined in shard order. Reports are bit-identical for
+// every `threads` setting (see DESIGN.md).
 #pragma once
 
 #include <cstdint>
@@ -28,6 +31,7 @@
 #include <vector>
 
 #include "netlist/netlist.hpp"
+#include "sim/compiled.hpp"
 #include "techlib/techlib.hpp"
 #include "tvla/welch.hpp"
 
@@ -109,12 +113,25 @@ class LeakageReport {
 };
 
 /// Fixed-vs-random campaign (the protocol used for all paper tables).
+/// Compiles the design once (sim::compile) and shares the plan across all
+/// shards; see the CompiledDesignPtr overload to reuse a caller-held plan.
 [[nodiscard]] LeakageReport run_fixed_vs_random(const netlist::Netlist& design,
                                                 const techlib::TechLibrary& lib,
                                                 const TvlaConfig& config);
 
 /// Fixed-vs-fixed campaign (known intermediate values).
 [[nodiscard]] LeakageReport run_fixed_vs_fixed(const netlist::Netlist& design,
+                                               const techlib::TechLibrary& lib,
+                                               const TvlaConfig& config);
+
+/// Same campaigns over a pre-compiled execution plan: callers that run
+/// several campaigns on one design (or want compile time measured apart
+/// from trace time, as bench_fig4_tvla does) compile once and pass the
+/// plan. The plan's netlist must outlive the call.
+[[nodiscard]] LeakageReport run_fixed_vs_random(sim::CompiledDesignPtr design,
+                                                const techlib::TechLibrary& lib,
+                                                const TvlaConfig& config);
+[[nodiscard]] LeakageReport run_fixed_vs_fixed(sim::CompiledDesignPtr design,
                                                const techlib::TechLibrary& lib,
                                                const TvlaConfig& config);
 
@@ -133,6 +150,18 @@ class LeakageReport {
 
 [[nodiscard]] std::future<LeakageReport> submit_fixed_vs_fixed(
     engine::Scheduler& scheduler, const netlist::Netlist& design,
+    const techlib::TechLibrary& lib, const TvlaConfig& config);
+
+/// Pre-compiled-plan variants of the async entry points (see the
+/// run_fixed_vs_random CompiledDesignPtr overload): the caller's plan is
+/// shared by every shard instead of compiling in the submit call. The
+/// plan's netlist must stay alive until the future is ready.
+[[nodiscard]] std::future<LeakageReport> submit_fixed_vs_random(
+    engine::Scheduler& scheduler, sim::CompiledDesignPtr design,
+    const techlib::TechLibrary& lib, const TvlaConfig& config);
+
+[[nodiscard]] std::future<LeakageReport> submit_fixed_vs_fixed(
+    engine::Scheduler& scheduler, sim::CompiledDesignPtr design,
     const techlib::TechLibrary& lib, const TvlaConfig& config);
 
 }  // namespace polaris::tvla

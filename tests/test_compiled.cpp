@@ -1,0 +1,288 @@
+// Property harness for the compiled simulation kernel (sim/compiled.hpp):
+// randomized netlists evaluated by the compiled kernel vs the reference
+// gate-by-gate oracle (sim/reference.hpp), asserting bit-identical value
+// words, toggle words, and per-lane energies; TVLA campaigns over the
+// kernel are checked bit-identical across 1/2/8 threads and against the
+// pre-compiled-plan overload. tests/test_golden.cpp remains the
+// end-to-end determinism lock (committed CSVs, byte-stable).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "circuits/random_logic.hpp"
+#include "circuits/suite.hpp"
+#include "masking/masking.hpp"
+#include "netlist/netlist.hpp"
+#include "power/power_model.hpp"
+#include "power/sample_plan.hpp"
+#include "sim/compiled.hpp"
+#include "sim/reference.hpp"
+#include "sim/simulator.hpp"
+#include "tvla/tvla.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace polaris;
+using netlist::CellType;
+using netlist::GateId;
+using netlist::NetId;
+
+const techlib::TechLibrary& lib() {
+  static const auto instance = techlib::TechLibrary::default_library();
+  return instance;
+}
+
+/// Reference per-lane total power: ascending-gate sweep over the oracle's
+/// toggles, mirroring the pre-kernel PowerModel::total_power loop.
+std::vector<double> reference_total_power(const netlist::Netlist& design,
+                                          const power::PowerModel& power,
+                                          const sim::ReferenceSimulator& sim) {
+  std::vector<double> lanes(sim::kLanes, 0.0);
+  for (GateId g = 0; g < design.gate_count(); ++g) {
+    const std::uint64_t toggles = sim.toggles(g);
+    if (toggles == 0) continue;
+    const double energy = power.gate_energy(g);
+    std::uint64_t bits = toggles;
+    while (bits != 0) {
+      lanes[static_cast<std::size_t>(__builtin_ctzll(bits))] += energy;
+      bits &= bits - 1;
+    }
+  }
+  return lanes;
+}
+
+/// Drives both simulators with identical stimulus for `cycles` evals and
+/// asserts bit-identical values (every net), toggles (every gate), and
+/// per-lane energies after each eval. Both consume their internal RNGs in
+/// the same order, so seeding them identically keeps kRand streams equal.
+void expect_lockstep(const netlist::Netlist& design, std::uint64_t seed,
+                     std::size_t cycles, bool latch) {
+  const auto compiled = sim::compile(design);
+  sim::Simulator fast(compiled, seed);
+  sim::ReferenceSimulator oracle(design, seed);
+  const power::PowerModel power(design, lib());
+  util::Xoshiro256 stimulus(seed ^ 0x57151u);
+
+  for (std::size_t c = 0; c < cycles; ++c) {
+    for (std::size_t i = 0; i < design.primary_inputs().size(); ++i) {
+      const std::uint64_t word = stimulus();
+      fast.set_input(i, word);
+      oracle.set_input(i, word);
+    }
+    fast.eval();
+    oracle.eval();
+
+    for (NetId n = 0; n < design.net_count(); ++n) {
+      ASSERT_EQ(fast.value(n), oracle.value(n))
+          << "net " << n << " cycle " << c;
+    }
+    for (GateId g = 0; g < design.gate_count(); ++g) {
+      ASSERT_EQ(fast.toggles(g), oracle.toggles(g))
+          << "gate " << g << " cycle " << c;
+    }
+    std::vector<double> fast_lanes;
+    power.total_power(fast, fast_lanes);
+    const auto oracle_lanes = reference_total_power(design, power, oracle);
+    for (std::size_t lane = 0; lane < sim::kLanes; ++lane) {
+      ASSERT_EQ(fast_lanes[lane], oracle_lanes[lane])
+          << "lane " << lane << " cycle " << c;  // bitwise double equality
+    }
+    if (latch) {
+      fast.latch();
+      oracle.latch();
+    }
+  }
+}
+
+TEST(CompiledKernel, RandomLogicMatchesOracle) {
+  for (const std::uint64_t seed : {3u, 17u, 91u}) {
+    circuits::RandomLogicConfig config;
+    config.inputs = 24;
+    config.gates = 300;
+    config.outputs = 12;
+    config.seed = seed;
+    const auto design = circuits::make_random_logic(config);
+    expect_lockstep(design, /*seed=*/seed * 1337 + 1, /*cycles=*/16,
+                    /*latch=*/false);
+  }
+}
+
+TEST(CompiledKernel, MaskedRandomLogicMatchesOracle) {
+  // Masking adds kRand sources and multi-member groups: exercises the RNG
+  // stream order contract and the multi bucket of the sampling plan.
+  circuits::RandomLogicConfig config;
+  config.inputs = 16;
+  config.gates = 200;
+  config.seed = 5;
+  const auto original = circuits::make_random_logic(config);
+  std::vector<GateId> targets;
+  for (GateId g = 0; g < original.gate_count(); ++g) {
+    if (netlist::is_maskable(original.gate(g).type) && g % 3 == 0) {
+      targets.push_back(g);
+    }
+  }
+  const auto masked = masking::apply_masking(original, targets);
+  ASSERT_GT(masked.added_rand_bits, 0u);
+  expect_lockstep(masked.design, /*seed=*/77, /*cycles=*/16, /*latch=*/false);
+}
+
+TEST(CompiledKernel, SequentialDesignMatchesOracle) {
+  // DFF state, latch(), and the q-slot write path over many cycles.
+  const auto design = circuits::get_design("memctrl", 0.3);
+  expect_lockstep(design.netlist, /*seed=*/11, /*cycles=*/24, /*latch=*/true);
+}
+
+TEST(CompiledKernel, EvalSingleMatchesOracle) {
+  circuits::RandomLogicConfig config;
+  config.inputs = 12;
+  config.gates = 120;
+  config.seed = 29;
+  const auto design = circuits::make_random_logic(config);
+  const auto compiled = sim::compile(design);
+  sim::Simulator fast(compiled, 1);
+  sim::ReferenceSimulator oracle(design, 1);
+  util::Xoshiro256 rng(4242);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<bool> bits(design.primary_inputs().size());
+    for (std::size_t i = 0; i < bits.size(); ++i) bits[i] = (rng() & 1) != 0;
+    EXPECT_EQ(fast.eval_single(bits), oracle.eval_single(bits));
+  }
+}
+
+TEST(CompiledKernel, ResetAndReseedMatchOracle) {
+  const auto design = circuits::get_design("memctrl", 0.25);
+  const auto compiled = sim::compile(design.netlist);
+  sim::Simulator fast(compiled, 9);
+  sim::ReferenceSimulator oracle(design.netlist, 9);
+  for (int round = 0; round < 3; ++round) {
+    fast.reset(100 + round);
+    oracle.reset(100 + round);
+    for (int c = 0; c < 6; ++c) {
+      fast.set_inputs_random();
+      oracle.set_inputs_random();
+      fast.eval();
+      oracle.eval();
+      for (NetId n = 0; n < design.netlist.net_count(); ++n) {
+        ASSERT_EQ(fast.value(n), oracle.value(n));
+      }
+      fast.latch();
+      oracle.latch();
+    }
+  }
+}
+
+TEST(CompiledKernel, PrimaryInputTogglesReadZeroAfterEval) {
+  netlist::Netlist nl;
+  const NetId a = nl.add_input("a");
+  nl.mark_output(nl.add_cell(CellType::kNot, {a}));
+  sim::Simulator sim(nl);
+  sim.set_input(0, 0);
+  sim.eval();
+  sim.set_input(0, ~0ULL);
+  sim.eval();
+  EXPECT_EQ(sim.toggles(nl.net(a).driver), 0u);  // staged writes: toggle 0
+}
+
+TEST(CompiledKernel, CompileValidatesOnce) {
+  circuits::RandomLogicConfig config;
+  config.gates = 150;
+  config.seed = 2;
+  const auto design = circuits::make_random_logic(config);
+  const auto compiled = sim::compile(design);
+  EXPECT_EQ(compiled->slot_count(), design.net_count());
+  EXPECT_GE(compiled->level_count(), 1u);
+  // Batching is a compression: never more runs than combinational gates.
+  EXPECT_LE(compiled->run_count(), design.combinational_gate_count());
+  // Every net owns a distinct slot (dense renumbering is a bijection).
+  std::vector<bool> seen(design.net_count(), false);
+  for (NetId n = 0; n < design.net_count(); ++n) {
+    const std::uint32_t slot = compiled->slot(n);
+    ASSERT_LT(slot, design.net_count());
+    ASSERT_FALSE(seen[slot]);
+    seen[slot] = true;
+  }
+}
+
+TEST(CompiledKernel, SamplePlanPreservesAscendingOrderWithinGroups) {
+  circuits::RandomLogicConfig config;
+  config.gates = 180;
+  config.seed = 13;
+  const auto original = circuits::make_random_logic(config);
+  std::vector<GateId> targets;
+  for (GateId g = 0; g < original.gate_count(); ++g) {
+    if (netlist::is_maskable(original.gate(g).type)) targets.push_back(g);
+  }
+  const auto masked = masking::apply_masking(original, targets);
+  const auto compiled = sim::compile(masked.design);
+  const power::PowerModel power(masked.design, lib());
+  const power::SamplePlan plan(*compiled, power);
+  ASSERT_GT(plan.multi_group_count(), 0u);
+
+  // Reconstruct the gate order the plan's multis were emitted in: it must
+  // be ascending GateId (the accumulation-order contract, DESIGN.md).
+  std::size_t cursor = 0;
+  GateId previous_gate = 0;
+  for (const GateId g : power.active_gates()) {
+    const GateId group = masked.design.gate(g).group;
+    if (plan.group_multi_index(group) == power::SamplePlan::kNotMulti) continue;
+    ASSERT_LT(cursor, plan.multis().size());
+    EXPECT_EQ(plan.multis()[cursor].toggle_slot, compiled->toggle_slot(g));
+    if (cursor > 0) {
+      EXPECT_GT(g, previous_gate);
+    }
+    previous_gate = g;
+    ++cursor;
+  }
+  EXPECT_EQ(cursor, plan.multis().size());
+}
+
+TEST(CompiledKernel, CampaignBitIdenticalAcrossThreads) {
+  const auto design = circuits::get_design("square", 0.3);
+  tvla::TvlaConfig config;
+  config.traces = 2048;
+  config.seed = 77;
+  config.noise_std_fj = 1.0;
+
+  config.threads = 1;
+  const auto t1 = tvla::run_fixed_vs_random(design.netlist, lib(), config);
+  for (const std::size_t threads : {2u, 8u}) {
+    config.threads = threads;
+    const auto tn = tvla::run_fixed_vs_random(design.netlist, lib(), config);
+    ASSERT_EQ(t1.t_values().size(), tn.t_values().size());
+    for (std::size_t g = 0; g < t1.t_values().size(); ++g) {
+      ASSERT_EQ(t1.t_values()[g], tn.t_values()[g]) << "threads=" << threads;
+    }
+  }
+
+  // The pre-compiled-plan overload shares one CompiledDesign across
+  // campaigns and still reproduces the same report bit-for-bit.
+  const auto compiled = sim::compile(design.netlist);
+  config.threads = 2;
+  const auto shared_plan = tvla::run_fixed_vs_random(compiled, lib(), config);
+  for (std::size_t g = 0; g < t1.t_values().size(); ++g) {
+    ASSERT_EQ(t1.t_values()[g], shared_plan.t_values()[g]);
+  }
+}
+
+TEST(CompiledKernel, SequentialCampaignBitIdenticalAcrossThreads) {
+  const auto design = circuits::get_design("memctrl", 0.3);
+  tvla::TvlaConfig config;
+  config.traces = 2048;
+  config.cycles_per_batch = 8;
+  config.seed = 31;
+  config.noise_std_fj = 1.0;
+
+  config.threads = 1;
+  const auto t1 = tvla::run_fixed_vs_random(design.netlist, lib(), config);
+  for (const std::size_t threads : {2u, 8u}) {
+    config.threads = threads;
+    const auto tn = tvla::run_fixed_vs_random(design.netlist, lib(), config);
+    for (std::size_t g = 0; g < t1.t_values().size(); ++g) {
+      ASSERT_EQ(t1.t_values()[g], tn.t_values()[g]) << "threads=" << threads;
+    }
+  }
+}
+
+}  // namespace
