@@ -9,6 +9,7 @@
 #include "circuits/aes_sbox.hpp"
 #include "engine/thread_pool.hpp"
 #include "sim/compiled.hpp"
+#include "sim/simd.hpp"
 #include "util/csv.hpp"
 #include "util/strings.hpp"
 #include "util/timer.hpp"
@@ -30,6 +31,7 @@ int main() {
     config.seed = setup.seed;
     config.noise_std_fj = 1.0;
     config.threads = setup.threads;
+    config.lane_words = setup.lane_words;  // POLARIS_BENCH_WORDS, 0 = auto
 
     util::Timer compile_timer;
     const auto compiled = sim::compile(sbox);
@@ -37,15 +39,25 @@ int main() {
     util::Timer kernel_timer;
     const auto report = tvla::run_fixed_vs_random(compiled, setup.lib, config);
     const double kernel_seconds = kernel_timer.seconds();
-    std::printf("kernel probe: aes_sbox x4 (%zu gates) compiled in %.2fms, "
-                "%zu traces in %.3fs, %zu leaky\n\n",
-                sbox.gate_count(), compile_ms, setup.traces, kernel_seconds,
-                report.leaky_count());
+    // The width this combinational campaign actually ran at, and the
+    // kernel path that width resolves to under the current SIMD policy.
+    const std::size_t lane_words = config.lane_words != 0
+                                       ? config.lane_words
+                                       : sim::default_lane_words();
+    std::printf("kernel probe: aes_sbox x4 (%zu gates) compiled in %.2fms "
+                "(%zu buf/not runs fused), %zu traces in %.3fs "
+                "(%zu-word blocks, %s), %zu leaky\n\n",
+                sbox.gate_count(), compile_ms, compiled->fused_run_count(),
+                setup.traces, kernel_seconds, lane_words,
+                sim::simd_name(lane_words), report.leaky_count());
     bench::JsonLine("fig4_tvla_kernel")
         .field("design", "aes_sbox")
         .field("gates", sbox.gate_count())
         .field("traces", setup.traces)
         .field("threads", engine::ThreadPool::resolve_threads(config.threads))
+        .field("lane_words", lane_words)
+        .field("simd", sim::simd_name(lane_words))
+        .field("fused_runs", compiled->fused_run_count())
         .field("compile_ms", compile_ms)
         .field("campaign_seconds", kernel_seconds)
         .field("traces_per_sec",

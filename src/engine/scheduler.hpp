@@ -25,6 +25,7 @@
 //    TraceEngine's, regardless of which threads ran the shards.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
@@ -75,11 +76,33 @@ class Scheduler {
   std::future<Result> submit(std::size_t total_batches, MakeState make,
                              RunBatch run_batch, Merge merge,
                              Finalize finalize, std::size_t weight = 0) {
+    return submit_blocks<State>(
+        total_batches, /*block_words=*/1, std::move(make),
+        [rb = std::move(run_batch)](State& state, std::size_t batch,
+                                    std::size_t) { rb(state, batch); },
+        std::move(merge), std::move(finalize), weight);
+  }
+
+  /// Blocked variant (see TraceEngine::run_blocks): shards execute their
+  /// batch range in lane blocks of up to `block_words` consecutive
+  /// batches, re-anchored at each shard's begin - the ShardPlan (and so
+  /// every merge point) is identical at every block width.
+  ///   run_block(state, batch_begin, words) - runs batches
+  ///   [batch_begin, batch_begin + words), words <= block_words.
+  template <class State, class MakeState, class RunBlock, class Merge,
+            class Finalize,
+            class Result = std::invoke_result_t<Finalize&, State&&>>
+  std::future<Result> submit_blocks(std::size_t total_batches,
+                                    std::size_t block_words, MakeState make,
+                                    RunBlock run_block, Merge merge,
+                                    Finalize finalize,
+                                    std::size_t weight = 0) {
     auto campaign = std::make_shared<
-        TypedCampaign<State, Result, MakeState, RunBatch, Merge, Finalize>>(
-        std::move(make), std::move(run_batch), std::move(merge),
+        TypedCampaign<State, Result, MakeState, RunBlock, Merge, Finalize>>(
+        std::move(make), std::move(run_block), std::move(merge),
         std::move(finalize));
     campaign->plan = ShardPlan::make(total_batches);
+    campaign->block = block_words == 0 ? 1 : block_words;
     campaign->weight = weight == 0 ? total_batches : weight;
     std::future<Result> future = campaign->promise.get_future();
     if (campaign->plan.shard_count == 0) {
@@ -116,18 +139,19 @@ class Scheduler {
     virtual void finish() noexcept = 0;
 
     ShardPlan plan;
+    std::size_t block = 1;       // lane-block width (consecutive batches)
     std::size_t weight = 0;
     std::uint64_t sequence = 0;  // submission order, the priority tie-break
     std::size_t remaining = 0;   // shards not yet executed
   };
 
-  template <class State, class Result, class MakeState, class RunBatch,
+  template <class State, class Result, class MakeState, class RunBlock,
             class Merge, class Finalize>
   struct TypedCampaign final : CampaignTask {
-    TypedCampaign(MakeState make, RunBatch run_batch, Merge merge,
+    TypedCampaign(MakeState make, RunBlock run_block, Merge merge,
                   Finalize finalize)
         : make(std::move(make)),
-          run_batch(std::move(run_batch)),
+          run_block(std::move(run_block)),
           merge(std::move(merge)),
           finalize(std::move(finalize)) {}
 
@@ -135,8 +159,9 @@ class Scheduler {
       if (failed.load(std::memory_order_relaxed)) return;  // doomed campaign
       try {
         State state = make(shard);
-        for (std::size_t b = plan.begin(shard); b < plan.end(shard); ++b) {
-          run_batch(state, b);
+        const std::size_t end = plan.end(shard);
+        for (std::size_t b = plan.begin(shard); b < end; b += block) {
+          run_block(state, b, std::min(block, end - b));
         }
         states[shard].emplace(std::move(state));
       } catch (...) {
@@ -164,7 +189,7 @@ class Scheduler {
     }
 
     MakeState make;
-    RunBatch run_batch;
+    RunBlock run_block;
     Merge merge;
     Finalize finalize;
     std::vector<std::optional<State>> states;

@@ -18,6 +18,7 @@
 // `threads` setting, including 1.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <optional>
@@ -79,8 +80,29 @@ class TraceEngine {
   template <class State, class MakeState, class RunBatch, class Merge>
   State run(std::size_t total_batches, MakeState&& make, RunBatch&& run_batch,
             Merge&& merge) const {
+    return run_blocks<State>(
+        total_batches, /*block_words=*/1, std::forward<MakeState>(make),
+        [&run_batch](State& state, std::size_t batch, std::size_t) {
+          run_batch(state, batch);
+        },
+        std::forward<Merge>(merge));
+  }
+
+  /// Blocked variant: batches execute in lane blocks of up to `block_words`
+  /// consecutive batches per run_block call. The ShardPlan is UNCHANGED -
+  /// still the same pure function of the batch count - and blocks re-anchor
+  /// at each shard's begin, so shard boundaries (and therefore the
+  /// floating-point merge points) are identical at every block width; a
+  /// shard range not divisible by block_words ends with a short tail block.
+  ///   run_block(state, batch_begin, words) - runs batches
+  ///   [batch_begin, batch_begin + words), words <= block_words.
+  template <class State, class MakeState, class RunBlock, class Merge>
+  State run_blocks(std::size_t total_batches, std::size_t block_words,
+                   MakeState&& make, RunBlock&& run_block,
+                   Merge&& merge) const {
     const ShardPlan plan = ShardPlan::make(total_batches);
     if (plan.shard_count == 0) return make(0);
+    const std::size_t block = block_words == 0 ? 1 : block_words;
 
     // The shard/merge structure is executed identically at every thread
     // count (threads only changes *placement*); otherwise the float merge
@@ -88,8 +110,9 @@ class TraceEngine {
     std::vector<std::optional<State>> states(plan.shard_count);
     const auto run_shard = [&](std::size_t shard) {
       State state = make(shard);
-      for (std::size_t b = plan.begin(shard); b < plan.end(shard); ++b) {
-        run_batch(state, b);
+      const std::size_t end = plan.end(shard);
+      for (std::size_t b = plan.begin(shard); b < end; b += block) {
+        run_block(state, b, std::min(block, end - b));
       }
       states[shard].emplace(std::move(state));
     };

@@ -15,6 +15,16 @@
 // lane-energy sums is exactly the ascending-id order the pre-compiled
 // sampler used. Integer single counters are order-free; only the multi
 // buckets carry float order, and that order is preserved.
+//
+// Blocked readout (sample()): one call ingests a whole K-word lane block -
+// up to K batches of 64 traces evaluated in one simulator pass. Per multi
+// group, samples are pushed word-major (ascending lane word = ascending
+// batch index), lane-ascending within a word: exactly the batch-major
+// sample sequence the one-word-at-a-time path produced, so the Pebay
+// moment updates see an identical float op order at every block width.
+// Tail contract: only the first `active_words` words of a block are
+// sampled; trailing words (trace counts not divisible by 64*K) are
+// evaluated but never read, and their lane_sums scratch stays zero.
 #pragma once
 
 #include <cstdint>
@@ -66,6 +76,79 @@ class SamplePlan {
   /// the binary {0, E} samples on the physical scale the noise floor lives on.
   [[nodiscard]] double single_energy(netlist::GateId group) const {
     return single_energy_[group];
+  }
+
+  /// Fused toggle/energy readout of one K-word lane block.
+  ///   toggle_words - blocked array (slot s owns words [s*K, (s+1)*K))
+  ///   lane_words   - K, the simulator's block width
+  ///   active_words - words actually carrying sampled batches (tail: < K)
+  ///   class_masks  - per-word fixed-class lane masks (active_words entries)
+  ///   lane_sums    - zeroed scratch, multi_group_count() * K * 64 doubles;
+  ///                  returned zeroed
+  ///   moments      - tvla::CampaignMoments-shaped sink (template keeps the
+  ///                  power module independent of the tvla module)
+  /// Singles feed exact integer counters; multi members accumulate
+  /// pre-resolved energies per (word, lane) in ascending-GateId order, then
+  /// every (word, lane) sample is pushed word-major / lane-ascending per
+  /// group - the accumulation-order contract above.
+  template <class Moments>
+  void sample(const std::uint64_t* toggle_words, std::size_t lane_words,
+              std::size_t active_words, const std::uint64_t* class_masks,
+              double* lane_sums, Moments& moments) const {
+    constexpr std::size_t kLanesPerWord = 64;
+    for (std::size_t w = 0; w < active_words; ++w) {
+      const auto n_fixed =
+          static_cast<std::uint64_t>(__builtin_popcountll(class_masks[w]));
+      moments.add_lane_counts(n_fixed, kLanesPerWord - n_fixed);
+    }
+    for (const SingleOp& op : singles_) {
+      const std::uint64_t* block =
+          toggle_words + static_cast<std::size_t>(op.toggle_slot) * lane_words;
+      std::uint64_t fixed_ones = 0;
+      std::uint64_t random_ones = 0;
+      bool any = false;
+      for (std::size_t w = 0; w < active_words; ++w) {
+        const std::uint64_t toggles = block[w];
+        if (toggles == 0) continue;
+        any = true;
+        fixed_ones += static_cast<std::uint64_t>(
+            __builtin_popcountll(toggles & class_masks[w]));
+        random_ones += static_cast<std::uint64_t>(
+            __builtin_popcountll(toggles & ~class_masks[w]));
+      }
+      if (any) moments.add_single_ones(op.group, fixed_ones, random_ones);
+    }
+    for (const MultiOp& op : multis_) {
+      const std::uint64_t* block =
+          toggle_words + static_cast<std::size_t>(op.toggle_slot) * lane_words;
+      double* sums =
+          lane_sums + static_cast<std::size_t>(op.multi) * lane_words *
+                          kLanesPerWord;
+      for (std::size_t w = 0; w < active_words; ++w) {
+        std::uint64_t bits = block[w];
+        if (bits == 0) continue;
+        double* lane_sum = sums + w * kLanesPerWord;
+        while (bits != 0) {
+          lane_sum[static_cast<std::size_t>(__builtin_ctzll(bits))] +=
+              op.energy;
+          bits &= bits - 1;
+        }
+      }
+    }
+    // Every sampled word contributes one sample per lane to each multi
+    // group (possibly zero-valued); push word-major and clear.
+    for (std::size_t m = 0; m < multi_group_ids_.size(); ++m) {
+      for (std::size_t w = 0; w < active_words; ++w) {
+        const std::uint64_t mask = class_masks[w];
+        double* lane_sum =
+            lane_sums + (m * lane_words + w) * kLanesPerWord;
+        for (std::size_t lane = 0; lane < kLanesPerWord; ++lane) {
+          const bool fixed = ((mask >> lane) & 1ULL) != 0;
+          moments.add_multi_sample(m, fixed, lane_sum[lane]);
+          lane_sum[lane] = 0.0;
+        }
+      }
+    }
   }
 
  private:

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "sim/compiled_kernels.hpp"
+
 namespace polaris::sim {
 
 using netlist::CellType;
@@ -141,6 +143,60 @@ CompiledDesign::CompiledDesign(const netlist::Netlist& netlist)
     }
   }
 
+  // Prelude fusion: a kBuf/kNot run whose outputs are all consumed by the
+  // run that immediately follows it is folded into that run as a prelude.
+  // The folded ops still execute first and still write their value/toggle
+  // slots, inside the consumer's dispatch - the per-slot write order is
+  // exactly the unfused order, so the result is bit-identical and the
+  // fusion is purely a dispatch-count optimization. Runs that already
+  // received a prelude are not folded further (no chaining).
+  {
+    std::vector<std::uint32_t> consumer_count(next_slot, 0);
+    for (const std::uint32_t s : op_input_slots_) ++consumer_count[s];
+    std::vector<std::uint32_t> next_count(next_slot, 0);
+    std::vector<std::uint32_t> touched;
+    std::vector<OpRun> kept;
+    kept.reserve(runs_.size());
+    for (std::size_t i = 0; i < runs_.size(); ++i) {
+      const OpRun& run = runs_[i];
+      const bool candidate =
+          (run.kernel == OpKernel::kBuf || run.kernel == OpKernel::kNot) &&
+          run.prelude_op_count == 0 && run.op_count > 0 &&
+          i + 1 < runs_.size();
+      bool fold = false;
+      if (candidate) {
+        const OpRun& next = runs_[i + 1];
+        const std::uint32_t* next_in = op_input_slots_.data() + next.input_base;
+        const std::size_t next_inputs =
+            static_cast<std::size_t>(next.op_count) * next.fan_in;
+        for (std::size_t t = 0; t < next_inputs; ++t) {
+          if (next_count[next_in[t]]++ == 0) touched.push_back(next_in[t]);
+        }
+        fold = true;
+        for (std::uint32_t o = 0; o < run.op_count; ++o) {
+          const std::uint32_t s = op_out_slots_[run.op_begin + o];
+          if (consumer_count[s] == 0 || next_count[s] != consumer_count[s]) {
+            fold = false;
+            break;
+          }
+        }
+        for (const std::uint32_t s : touched) next_count[s] = 0;
+        touched.clear();
+      }
+      if (fold) {
+        OpRun& next = runs_[i + 1];
+        next.prelude_op_begin = run.op_begin;
+        next.prelude_op_count = run.op_count;
+        next.prelude_input_base = run.input_base;
+        next.prelude_invert = run.kernel == OpKernel::kNot;
+        ++fused_run_count_;
+      } else {
+        kept.push_back(run);
+      }
+    }
+    runs_ = std::move(kept);
+  }
+
   // Undriven (construction-leftover) nets still deserve stable slots so
   // value(net) stays total.
   for (NetId n = 0; n < netlist.net_count(); ++n) {
@@ -165,98 +221,38 @@ CompiledDesign::CompiledDesign(const netlist::Netlist& netlist)
   }
 }
 
-void CompiledDesign::eval_comb(std::uint64_t* values,
-                               std::uint64_t* toggles) const {
-  for (const OpRun& run : runs_) {
-    const std::uint32_t* out = op_out_slots_.data() + run.op_begin;
-    const std::uint32_t* in = op_input_slots_.data() + run.input_base;
-    const std::size_t n = run.op_count;
-    const std::size_t k = run.fan_in;
-    switch (run.kernel) {
-      case OpKernel::kBuf:
-        for (std::size_t i = 0; i < n; ++i) {
-          write_slot(values, toggles, out[i], values[in[i]]);
-        }
-        break;
-      case OpKernel::kNot:
-        for (std::size_t i = 0; i < n; ++i) {
-          write_slot(values, toggles, out[i], ~values[in[i]]);
-        }
-        break;
-      case OpKernel::kMux:
-        for (std::size_t i = 0; i < n; ++i) {
-          const std::uint64_t sel = values[in[3 * i]];
-          write_slot(values, toggles, out[i],
-                     (sel & values[in[3 * i + 2]]) |
-                         (~sel & values[in[3 * i + 1]]));
-        }
-        break;
-      case OpKernel::kAnd2:
-        for (std::size_t i = 0; i < n; ++i) {
-          write_slot(values, toggles, out[i],
-                     values[in[2 * i]] & values[in[2 * i + 1]]);
-        }
-        break;
-      case OpKernel::kOr2:
-        for (std::size_t i = 0; i < n; ++i) {
-          write_slot(values, toggles, out[i],
-                     values[in[2 * i]] | values[in[2 * i + 1]]);
-        }
-        break;
-      case OpKernel::kNand2:
-        for (std::size_t i = 0; i < n; ++i) {
-          write_slot(values, toggles, out[i],
-                     ~(values[in[2 * i]] & values[in[2 * i + 1]]));
-        }
-        break;
-      case OpKernel::kNor2:
-        for (std::size_t i = 0; i < n; ++i) {
-          write_slot(values, toggles, out[i],
-                     ~(values[in[2 * i]] | values[in[2 * i + 1]]));
-        }
-        break;
-      case OpKernel::kXor2:
-        for (std::size_t i = 0; i < n; ++i) {
-          write_slot(values, toggles, out[i],
-                     values[in[2 * i]] ^ values[in[2 * i + 1]]);
-        }
-        break;
-      case OpKernel::kXnor2:
-        for (std::size_t i = 0; i < n; ++i) {
-          write_slot(values, toggles, out[i],
-                     ~(values[in[2 * i]] ^ values[in[2 * i + 1]]));
-        }
-        break;
-      case OpKernel::kAndN:
-      case OpKernel::kNandN:
-        for (std::size_t i = 0; i < n; ++i) {
-          std::uint64_t acc = ~0ULL;
-          for (std::size_t j = 0; j < k; ++j) acc &= values[in[i * k + j]];
-          write_slot(values, toggles, out[i],
-                     run.kernel == OpKernel::kAndN ? acc : ~acc);
-        }
-        break;
-      case OpKernel::kOrN:
-      case OpKernel::kNorN:
-        for (std::size_t i = 0; i < n; ++i) {
-          std::uint64_t acc = 0;
-          for (std::size_t j = 0; j < k; ++j) acc |= values[in[i * k + j]];
-          write_slot(values, toggles, out[i],
-                     run.kernel == OpKernel::kOrN ? acc : ~acc);
-        }
-        break;
-      case OpKernel::kXorN:
-      case OpKernel::kXnorN:
-        for (std::size_t i = 0; i < n; ++i) {
-          std::uint64_t acc = 0;
-          for (std::size_t j = 0; j < k; ++j) acc ^= values[in[i * k + j]];
-          write_slot(values, toggles, out[i],
-                     run.kernel == OpKernel::kXorN ? acc : ~acc);
-        }
-        break;
+void CompiledDesign::eval_comb(std::uint64_t* values, std::uint64_t* toggles,
+                               std::size_t lane_words,
+                               bool record_toggles) const {
+  detail::resolve_eval_fn(lane_words, record_toggles)(*this, values, toggles);
+}
+
+namespace detail {
+
+// Portable kernel table: the shared template (compiled_kernels.hpp) over
+// unrolled-uint64 blocks, one instantiation per valid width and toggle
+// mode. The AVX2 entries live in compiled_avx2.cpp, the only TU built
+// with -mavx2.
+EvalFn portable_kernel(std::size_t lane_words, bool record_toggles) noexcept {
+  if (record_toggles) {
+    switch (lane_words) {
+      case 1: return &KernelAccess::eval<U64Block<1>, true>;
+      case 2: return &KernelAccess::eval<U64Block<2>, true>;
+      case 4: return &KernelAccess::eval<U64Block<4>, true>;
+      case 8: return &KernelAccess::eval<U64Block<8>, true>;
+      default: return nullptr;
     }
   }
+  switch (lane_words) {
+    case 1: return &KernelAccess::eval<U64Block<1>, false>;
+    case 2: return &KernelAccess::eval<U64Block<2>, false>;
+    case 4: return &KernelAccess::eval<U64Block<4>, false>;
+    case 8: return &KernelAccess::eval<U64Block<8>, false>;
+    default: return nullptr;
+  }
 }
+
+}  // namespace detail
 
 CompiledDesignPtr compile(const netlist::Netlist& netlist) {
   return std::make_shared<const CompiledDesign>(netlist);

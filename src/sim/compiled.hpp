@@ -15,10 +15,25 @@
 //    fan-in) into contiguous *op runs*: one kernel dispatch per run and a
 //    tight branch-free loop inside it, instead of a per-gate
 //    eval_cell_word switch;
+//  * buf/not prelude fusion - an adjacent kBuf/kNot run whose outputs are
+//    all consumed by the run that immediately follows it is folded into
+//    that consumer as a *prelude*: its ops still execute first and still
+//    write their value/toggle slots (bit-identical to the unfused order),
+//    but inside the consumer's dispatch, saving one dispatch per folded
+//    run (fused_run_count());
 //  * compile-time validation - cell kinds and fan-in arity are checked
 //    once here (throws std::invalid_argument), so eval() carries no
 //    per-gate checks and no fan-in cap: n-ary kernels accumulate straight
 //    from the value array, with no operand staging buffer.
+//
+// Lane blocks: eval_comb evaluates `lane_words` 64-trace words per op in
+// one pass over blocked arrays where slot i owns words [i*W, (i+1)*W).
+// The kernel body is a width-generic template (compiled_kernels.hpp)
+// instantiated portably for every valid width and as AVX2 vectors for the
+// widths that fill whole __m256i registers; sim/simd.hpp owns the runtime
+// dispatch policy (CPUID + POLARIS_SIMD). Both instantiations execute the
+// same op order and the same write-time toggle rule, so they produce
+// bit-identical words.
 //
 // Toggle contract: toggles are computed at write time (old XOR new, per
 // written slot), which removes the previous_ = values_ full-vector copy
@@ -38,6 +53,10 @@
 namespace polaris::sim {
 
 class Simulator;
+
+namespace detail {
+struct KernelAccess;
+}  // namespace detail
 
 /// Write-time toggle update - THE invariant behind every bit-identity
 /// guarantee, shared by the compiled combinational wave and the
@@ -74,9 +93,13 @@ class CompiledDesign {
   [[nodiscard]] std::size_t level_count() const { return level_count_; }
   [[nodiscard]] std::size_t run_count() const { return runs_.size(); }
   [[nodiscard]] std::size_t dff_count() const { return dff_qd_slots_.size(); }
+  /// kBuf/kNot runs folded into their consumer run as preludes (bench
+  /// probes report this next to run_count()).
+  [[nodiscard]] std::size_t fused_run_count() const { return fused_run_count_; }
 
  private:
   friend class Simulator;
+  friend struct detail::KernelAccess;
 
   /// Specialized kernels: the common 1/2/3-operand shapes get dedicated
   /// loops; kXxxN handles any wider fan-in with an accumulator loop.
@@ -88,22 +111,35 @@ class CompiledDesign {
 
   /// A contiguous batch of same-kernel, same-fan-in ops within one level.
   /// Op i of the run writes op_out_slots_[op_begin + i] and reads its
-  /// fan_in operands at op_input_slots_[input_base + i * fan_in].
+  /// fan_in operands at op_input_slots_[input_base + i * fan_in]. A run
+  /// may carry a *prelude* - the ops of a fused kBuf/kNot run that
+  /// executed immediately before it - executed first within the same
+  /// dispatch (prelude_invert selects kNot semantics).
   struct OpRun {
     OpKernel kernel;
     std::uint32_t fan_in;
     std::uint32_t op_begin;
     std::uint32_t op_count;
     std::uint32_t input_base;
+    std::uint32_t prelude_op_begin = 0;
+    std::uint32_t prelude_op_count = 0;  // 0 = no prelude
+    std::uint32_t prelude_input_base = 0;
+    bool prelude_invert = false;
   };
 
   /// Kernel selection doubles as the compile-time cell-kind check: throws
   /// std::invalid_argument for cells the combinational wave cannot evaluate.
   static OpKernel select_kernel(netlist::CellType type, std::size_t fan_in);
 
-  /// Runs the full combinational wave over `values`, recording write-time
-  /// toggles into `toggles` (both sized slot_count()).
-  void eval_comb(std::uint64_t* values, std::uint64_t* toggles) const;
+  /// Runs the full combinational wave over blocked `values`, recording
+  /// write-time toggles into `toggles` (both sized slot_count() *
+  /// lane_words, slot-major). Dispatches once per eval to the kernel the
+  /// current SIMD policy selects for this width (sim/simd.hpp).
+  /// `record_toggles = false` elides the toggle stores for evals whose
+  /// transition nothing reads (the values wave is unchanged); `toggles`
+  /// then holds stale data until the next recording eval rewrites it.
+  void eval_comb(std::uint64_t* values, std::uint64_t* toggles,
+                 std::size_t lane_words, bool record_toggles = true) const;
 
   const netlist::Netlist* netlist_;
   std::vector<std::uint32_t> slot_of_net_;      // NetId -> slot
@@ -121,6 +157,7 @@ class CompiledDesign {
   std::vector<std::uint32_t> op_out_slots_;
   std::vector<std::uint32_t> op_input_slots_;
   std::size_t level_count_ = 0;
+  std::size_t fused_run_count_ = 0;
 };
 
 using CompiledDesignPtr = std::shared_ptr<const CompiledDesign>;

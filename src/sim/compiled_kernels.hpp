@@ -1,0 +1,213 @@
+// Internal width-generic kernel bodies for CompiledDesign::eval_comb.
+//
+// The combinational wave is written ONCE as a template over a lane-block
+// type and instantiated per (width, instruction set): compiled.cpp stamps
+// out the portable U64Block entries for every valid width, and
+// compiled_avx2.cpp (built with -mavx2) stamps out __m256i entries for the
+// widths that fill whole 256-bit vectors. A block type provides
+//   kWords, load/store, zeros/ones, and the bitwise operators & | ^ ~
+// and nothing else - the kernel bodies, the prelude execution, and the
+// write-time toggle update are identical across instantiations, which is
+// what makes "forced portable vs forced AVX2 produce identical words" a
+// property of construction rather than of testing luck.
+//
+// This header is internal to src/sim: nothing outside the kernel
+// translation units should include it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/compiled.hpp"
+
+namespace polaris::sim::detail {
+
+/// One fully-specialized evaluator: runs the whole combinational wave over
+/// blocked values/toggles arrays (slot i owns words [i*W, (i+1)*W)).
+using EvalFn = void (*)(const CompiledDesign&, std::uint64_t*, std::uint64_t*);
+
+/// Portable lane block: W unrolled uint64 words. The compiler's
+/// autovectorizer may still widen these loops, but correctness never
+/// depends on it - this is the fallback every width supports.
+template <std::size_t W>
+struct U64Block {
+  static constexpr std::size_t kWords = W;
+  std::uint64_t w[W];
+
+  static U64Block load(const std::uint64_t* p) noexcept {
+    U64Block b;
+    for (std::size_t i = 0; i < W; ++i) b.w[i] = p[i];
+    return b;
+  }
+  void store(std::uint64_t* p) const noexcept {
+    for (std::size_t i = 0; i < W; ++i) p[i] = w[i];
+  }
+  static U64Block zeros() noexcept {
+    U64Block b;
+    for (std::size_t i = 0; i < W; ++i) b.w[i] = 0;
+    return b;
+  }
+  static U64Block ones() noexcept {
+    U64Block b;
+    for (std::size_t i = 0; i < W; ++i) b.w[i] = ~0ULL;
+    return b;
+  }
+  friend U64Block operator&(U64Block a, U64Block b) noexcept {
+    for (std::size_t i = 0; i < W; ++i) a.w[i] &= b.w[i];
+    return a;
+  }
+  friend U64Block operator|(U64Block a, U64Block b) noexcept {
+    for (std::size_t i = 0; i < W; ++i) a.w[i] |= b.w[i];
+    return a;
+  }
+  friend U64Block operator^(U64Block a, U64Block b) noexcept {
+    for (std::size_t i = 0; i < W; ++i) a.w[i] ^= b.w[i];
+    return a;
+  }
+  friend U64Block operator~(U64Block a) noexcept {
+    for (std::size_t i = 0; i < W; ++i) a.w[i] = ~a.w[i];
+    return a;
+  }
+};
+
+/// Friend gateway into CompiledDesign's private plan arrays: the kernel
+/// template needs the run list and slot tables but nothing else does.
+///
+/// WithToggles=false skips the toggle computation and store entirely - the
+/// value wave is identical, only the side channel recording is elided.
+/// Used for "scaffolding" evals whose toggles nothing ever reads (e.g. the
+/// base-state pass of a fixed-vs-random trace pair, where only the
+/// base->target transition is sampled and the target pass recomputes every
+/// toggle from the values array). Each elided write saves a load, an XOR,
+/// and a store per op output.
+struct KernelAccess {
+  template <class Block, bool WithToggles = true>
+  static void eval(const CompiledDesign& plan, std::uint64_t* values,
+                   [[maybe_unused]] std::uint64_t* toggles) {
+    constexpr std::size_t W = Block::kWords;
+    const auto load = [&](std::uint32_t slot) {
+      return Block::load(values + static_cast<std::size_t>(slot) * W);
+    };
+    // Blocked form of write_slot: each slot is written at most once per
+    // eval, so old XOR new is the per-word toggle.
+    const auto write = [&](std::uint32_t slot, Block v) {
+      const std::size_t off = static_cast<std::size_t>(slot) * W;
+      if constexpr (WithToggles) {
+        (Block::load(values + off) ^ v).store(toggles + off);
+      }
+      v.store(values + off);
+    };
+    using K = CompiledDesign::OpKernel;
+
+    for (const auto& run : plan.runs_) {
+      // Fused buf/not prelude: the folded run's ops execute first, inside
+      // this dispatch, in their original order - same writes, same order,
+      // one switch fewer.
+      if (run.prelude_op_count != 0) {
+        const std::uint32_t* pout =
+            plan.op_out_slots_.data() + run.prelude_op_begin;
+        const std::uint32_t* pin =
+            plan.op_input_slots_.data() + run.prelude_input_base;
+        if (run.prelude_invert) {
+          for (std::size_t i = 0; i < run.prelude_op_count; ++i) {
+            write(pout[i], ~load(pin[i]));
+          }
+        } else {
+          for (std::size_t i = 0; i < run.prelude_op_count; ++i) {
+            write(pout[i], load(pin[i]));
+          }
+        }
+      }
+
+      const std::uint32_t* out = plan.op_out_slots_.data() + run.op_begin;
+      const std::uint32_t* in = plan.op_input_slots_.data() + run.input_base;
+      const std::size_t n = run.op_count;
+      const std::size_t k = run.fan_in;
+      switch (run.kernel) {
+        case K::kBuf:
+          for (std::size_t i = 0; i < n; ++i) write(out[i], load(in[i]));
+          break;
+        case K::kNot:
+          for (std::size_t i = 0; i < n; ++i) write(out[i], ~load(in[i]));
+          break;
+        case K::kMux:
+          for (std::size_t i = 0; i < n; ++i) {
+            const Block sel = load(in[3 * i]);
+            write(out[i], (sel & load(in[3 * i + 2])) |
+                              (~sel & load(in[3 * i + 1])));
+          }
+          break;
+        case K::kAnd2:
+          for (std::size_t i = 0; i < n; ++i) {
+            write(out[i], load(in[2 * i]) & load(in[2 * i + 1]));
+          }
+          break;
+        case K::kOr2:
+          for (std::size_t i = 0; i < n; ++i) {
+            write(out[i], load(in[2 * i]) | load(in[2 * i + 1]));
+          }
+          break;
+        case K::kNand2:
+          for (std::size_t i = 0; i < n; ++i) {
+            write(out[i], ~(load(in[2 * i]) & load(in[2 * i + 1])));
+          }
+          break;
+        case K::kNor2:
+          for (std::size_t i = 0; i < n; ++i) {
+            write(out[i], ~(load(in[2 * i]) | load(in[2 * i + 1])));
+          }
+          break;
+        case K::kXor2:
+          for (std::size_t i = 0; i < n; ++i) {
+            write(out[i], load(in[2 * i]) ^ load(in[2 * i + 1]));
+          }
+          break;
+        case K::kXnor2:
+          for (std::size_t i = 0; i < n; ++i) {
+            write(out[i], ~(load(in[2 * i]) ^ load(in[2 * i + 1])));
+          }
+          break;
+        case K::kAndN:
+        case K::kNandN:
+          for (std::size_t i = 0; i < n; ++i) {
+            Block acc = Block::ones();
+            for (std::size_t j = 0; j < k; ++j) acc = acc & load(in[i * k + j]);
+            write(out[i], run.kernel == K::kAndN ? acc : ~acc);
+          }
+          break;
+        case K::kOrN:
+        case K::kNorN:
+          for (std::size_t i = 0; i < n; ++i) {
+            Block acc = Block::zeros();
+            for (std::size_t j = 0; j < k; ++j) acc = acc | load(in[i * k + j]);
+            write(out[i], run.kernel == K::kOrN ? acc : ~acc);
+          }
+          break;
+        case K::kXorN:
+        case K::kXnorN:
+          for (std::size_t i = 0; i < n; ++i) {
+            Block acc = Block::zeros();
+            for (std::size_t j = 0; j < k; ++j) acc = acc ^ load(in[i * k + j]);
+            write(out[i], run.kernel == K::kXorN ? acc : ~acc);
+          }
+          break;
+      }
+    }
+  }
+};
+
+/// Portable evaluator for a width; nullptr for invalid widths.
+/// `record_toggles=false` selects the toggle-eliding instantiation.
+[[nodiscard]] EvalFn portable_kernel(std::size_t lane_words,
+                                     bool record_toggles) noexcept;
+/// AVX2 evaluator for a width; nullptr when the build lacks the -mavx2
+/// unit or the width has no vector entry (1- and 2-word blocks).
+[[nodiscard]] EvalFn avx2_kernel(std::size_t lane_words,
+                                 bool record_toggles) noexcept;
+[[nodiscard]] bool avx2_built_impl() noexcept;
+/// Applies the SimdMode / CPUID policy (simd.hpp) to pick the evaluator
+/// for a dispatch at this width. Never returns nullptr for valid widths.
+[[nodiscard]] EvalFn resolve_eval_fn(std::size_t lane_words,
+                                     bool record_toggles) noexcept;
+
+}  // namespace polaris::sim::detail

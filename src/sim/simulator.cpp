@@ -9,18 +9,45 @@ namespace polaris::sim {
 using netlist::CellType;
 using netlist::NetId;
 
-Simulator::Simulator(const netlist::Netlist& netlist, std::uint64_t seed)
-    : Simulator(compile(netlist), seed) {}
+Simulator::Simulator(const netlist::Netlist& netlist, std::uint64_t seed,
+                     std::size_t lane_words)
+    : Simulator(compile(netlist), seed, lane_words) {}
 
-Simulator::Simulator(CompiledDesignPtr compiled, std::uint64_t seed)
-    : compiled_(std::move(compiled)), rng_(seed) {
-  values_.assign(compiled_->slot_count(), 0);
-  toggles_.assign(compiled_->slot_count(), 0);
-  dff_state_.assign(compiled_->dff_count(), 0);
+Simulator::Simulator(CompiledDesignPtr compiled, std::uint64_t seed,
+                     std::size_t lane_words)
+    : compiled_(std::move(compiled)), lane_words_(lane_words) {
+  if (!valid_lane_words(lane_words)) {
+    throw std::invalid_argument("Simulator: lane_words must be 1, 2, 4, or 8");
+  }
+  rngs_.reserve(lane_words_);
+  for (std::size_t w = 0; w < lane_words_; ++w) {
+    rngs_.emplace_back(word_seed(seed, w));
+  }
+  values_.assign(compiled_->slot_count() * lane_words_, 0);
+  toggles_.assign(compiled_->slot_count() * lane_words_, 0);
+  dff_state_.assign(compiled_->dff_count() * lane_words_, 0);
+}
+
+std::uint64_t Simulator::word_seed(std::uint64_t seed,
+                                   std::size_t word) noexcept {
+  if (word == 0) return seed;  // 1-word simulators keep the legacy stream
+  std::uint64_t z =
+      seed + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(word);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
 }
 
 void Simulator::set_input(std::size_t pi_index, std::uint64_t word) {
-  values_[compiled_->pi_slots_.at(pi_index)] = word;
+  values_[static_cast<std::size_t>(compiled_->pi_slots_.at(pi_index)) *
+          lane_words_] = word;
+}
+
+void Simulator::set_input_word(std::size_t pi_index, std::size_t word_index,
+                               std::uint64_t word) {
+  values_[static_cast<std::size_t>(compiled_->pi_slots_.at(pi_index)) *
+              lane_words_ +
+          word_index] = word;
 }
 
 void Simulator::set_input_net(NetId net, std::uint64_t word) {
@@ -28,11 +55,17 @@ void Simulator::set_input_net(NetId net, std::uint64_t word) {
   if (netlist.gate(netlist.net(net).driver).type != CellType::kInput) {
     throw std::invalid_argument("set_input_net: not a primary-input net");
   }
-  values_[compiled_->slot(net)] = word;
+  values_[static_cast<std::size_t>(compiled_->slot(net)) * lane_words_] = word;
 }
 
 void Simulator::set_inputs_random() {
-  for (const std::uint32_t slot : compiled_->pi_slots_) values_[slot] = rng_();
+  // Input-ascending draws per stream, matching the single-word order.
+  for (const std::uint32_t slot : compiled_->pi_slots_) {
+    const std::size_t base = static_cast<std::size_t>(slot) * lane_words_;
+    for (std::size_t w = 0; w < lane_words_; ++w) {
+      values_[base + w] = rngs_[w]();
+    }
+  }
 }
 
 void Simulator::set_inputs_mixed(const std::vector<bool>& fixed,
@@ -43,47 +76,74 @@ void Simulator::set_inputs_mixed(const std::vector<bool>& fixed,
   }
   for (std::size_t i = 0; i < slots.size(); ++i) {
     const std::uint64_t fixed_word = fixed[i] ? ~0ULL : 0ULL;
-    values_[slots[i]] = (fixed_word & fixed_mask) | (rng_() & ~fixed_mask);
+    const std::size_t base = static_cast<std::size_t>(slots[i]) * lane_words_;
+    for (std::size_t w = 0; w < lane_words_; ++w) {
+      values_[base + w] =
+          (fixed_word & fixed_mask) | (rngs_[w]() & ~fixed_mask);
+    }
   }
 }
 
-void Simulator::eval() {
-  // Source refresh, then the compiled combinational wave. Toggles are
-  // recorded as each slot is written; primary-input slots were staged by
-  // set_input* outside eval(), so their toggles stay 0 (PI pad power is
-  // excluded by the tech library anyway).
-  std::uint64_t* values = values_.data();
-  std::uint64_t* toggles = toggles_.data();
+void Simulator::eval(bool record_toggles) {
+  // Source refresh, then the compiled combinational wave over the full
+  // lane block. Toggles are recorded as each word is written;
+  // primary-input slots were staged by set_input* outside eval(), so
+  // their toggles stay 0 (PI pad power is excluded by the tech library
+  // anyway). kRand refresh draws slot-ascending per word stream - the
+  // same per-stream order the reference simulator's source sweep uses.
   const CompiledDesign& plan = *compiled_;
+  const std::size_t K = lane_words_;
 
   for (const std::uint32_t slot : plan.const0_slots_) {
-    write_slot(values, toggles, slot, 0);
+    const std::size_t base = static_cast<std::size_t>(slot) * K;
+    for (std::size_t w = 0; w < K; ++w) write_word(base + w, 0);
   }
   for (const std::uint32_t slot : plan.const1_slots_) {
-    write_slot(values, toggles, slot, ~0ULL);
+    const std::size_t base = static_cast<std::size_t>(slot) * K;
+    for (std::size_t w = 0; w < K; ++w) write_word(base + w, ~0ULL);
   }
   for (const std::uint32_t slot : plan.rand_slots_) {
-    write_slot(values, toggles, slot, rng_());
+    const std::size_t base = static_cast<std::size_t>(slot) * K;
+    for (std::size_t w = 0; w < K; ++w) write_word(base + w, rngs_[w]());
   }
   for (std::size_t i = 0; i < plan.dff_qd_slots_.size(); ++i) {
-    write_slot(values, toggles, plan.dff_qd_slots_[i].first, dff_state_[i]);
+    const std::size_t base =
+        static_cast<std::size_t>(plan.dff_qd_slots_[i].first) * K;
+    for (std::size_t w = 0; w < K; ++w) {
+      write_word(base + w, dff_state_[i * K + w]);
+    }
   }
-  plan.eval_comb(values, toggles);
+  plan.eval_comb(values_.data(), toggles_.data(), K, record_toggles);
   ++cycle_;
 }
 
 void Simulator::latch() {
+  const std::size_t K = lane_words_;
   for (std::size_t i = 0; i < compiled_->dff_qd_slots_.size(); ++i) {
-    dff_state_[i] = values_[compiled_->dff_qd_slots_[i].second];
+    const std::size_t d_base =
+        static_cast<std::size_t>(compiled_->dff_qd_slots_[i].second) * K;
+    for (std::size_t w = 0; w < K; ++w) {
+      dff_state_[i * K + w] = values_[d_base + w];
+    }
   }
 }
 
 void Simulator::reset(std::uint64_t seed) {
-  rng_ = util::Xoshiro256(seed);
+  reseed(seed);
   std::fill(values_.begin(), values_.end(), 0);
   std::fill(toggles_.begin(), toggles_.end(), 0);
   std::fill(dff_state_.begin(), dff_state_.end(), 0);
   cycle_ = 0;
+}
+
+void Simulator::reseed(std::uint64_t seed) {
+  for (std::size_t w = 0; w < lane_words_; ++w) {
+    rngs_[w] = util::Xoshiro256(word_seed(seed, w));
+  }
+}
+
+void Simulator::reseed_word(std::size_t word_index, std::uint64_t seed) {
+  rngs_[word_index] = util::Xoshiro256(seed);
 }
 
 std::vector<bool> Simulator::eval_single(const std::vector<bool>& bits) {
@@ -92,13 +152,16 @@ std::vector<bool> Simulator::eval_single(const std::vector<bool>& bits) {
     throw std::invalid_argument("eval_single: input size mismatch");
   }
   for (std::size_t i = 0; i < slots.size(); ++i) {
-    values_[slots[i]] = bits[i] ? ~0ULL : 0ULL;  // broadcast, lane 0 read back
+    const std::uint64_t word = bits[i] ? ~0ULL : 0ULL;  // broadcast, lane 0
+    const std::size_t base = static_cast<std::size_t>(slots[i]) * lane_words_;
+    for (std::size_t w = 0; w < lane_words_; ++w) values_[base + w] = word;
   }
   eval();
   std::vector<bool> out;
   out.reserve(compiled_->po_slots_.size());
   for (const std::uint32_t slot : compiled_->po_slots_) {
-    out.push_back((values_[slot] & 1ULL) != 0);
+    out.push_back(
+        (values_[static_cast<std::size_t>(slot) * lane_words_] & 1ULL) != 0);
   }
   return out;
 }

@@ -11,6 +11,7 @@
 #include "power/power_model.hpp"
 #include "power/sample_plan.hpp"
 #include "sim/compiled.hpp"
+#include "sim/simd.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 
@@ -80,6 +81,25 @@ std::vector<bool> derive_fixed_vector(std::size_t n, std::uint64_t seed) {
   return bits;
 }
 
+/// Out-of-line instantiation point for the blocked readout. The library
+/// targets baseline x86-64, where __builtin_popcountll compiles to a
+/// multi-op bit-twiddling sequence - and two popcounts per (single op,
+/// lane word) dominate the sampling loop. target_clones emits a second
+/// clone of this function (template body inlined) compiled with the
+/// hardware popcnt instruction and picks it via the loader's ifunc
+/// resolver on CPUs that have it: same integer results, no portability
+/// loss, no per-call dispatch cost.
+#if defined(__x86_64__) && defined(__GNUC__)
+__attribute__((target_clones("popcnt", "default")))
+#endif
+void sample_block(const power::SamplePlan& plan,
+                  const std::uint64_t* toggle_words, std::size_t lane_words,
+                  std::size_t active_words, const std::uint64_t* class_masks,
+                  double* lane_sums, CampaignMoments& moments) {
+  plan.sample(toggle_words, lane_words, active_words, class_masks, lane_sums,
+              moments);
+}
+
 /// Thin protocol layer: owns the campaign-wide, read-only context (the
 /// compiled design plan, power model, sampling plan, fixed vectors) and
 /// defines how one batch of traces is stimulated and sampled. The design
@@ -114,7 +134,20 @@ class Campaign {
     if (!config.input_class.empty() && config.input_class.size() != n_inputs) {
       throw std::invalid_argument("TVLA input_class size mismatch");
     }
+    if (config.lane_words != 0 && !sim::valid_lane_words(config.lane_words)) {
+      throw std::invalid_argument("TvlaConfig.lane_words must be 1, 2, 4, or 8");
+    }
     sequential_ = design_has_dff();
+    // Sequential campaigns stay at one word per pass: a K-batch lockstep
+    // would push samples cycle-major across batches instead of the
+    // batch-major order the moment accumulators saw pre-blocking, breaking
+    // float bit-identity. The Simulator itself supports K > 1 on
+    // sequential designs (oracle-tested); only the campaign protocol pins
+    // the width.
+    lane_words_ = sequential_ ? 1
+                              : (config.lane_words != 0
+                                     ? config.lane_words
+                                     : sim::default_lane_words());
   }
 
   /// Trace budget in whole 64-lane batches (sequential designs pack
@@ -137,9 +170,12 @@ class Campaign {
 
   LeakageReport run() {
     const engine::TraceEngine eng(config_.threads);
-    ShardState merged = eng.run<ShardState>(
-        batch_count(), [this](std::size_t) { return make_shard_state(); },
-        [this](ShardState& state, std::size_t batch) { run_batch(state, batch); },
+    ShardState merged = eng.run_blocks<ShardState>(
+        batch_count(), lane_words_,
+        [this](std::size_t) { return make_shard_state(); },
+        [this](ShardState& state, std::size_t batch_begin, std::size_t words) {
+          run_block(state, batch_begin, words);
+        },
         [](ShardState& into, ShardState&& from) {
           into.moments.merge(from.moments);
         });
@@ -151,11 +187,11 @@ class Campaign {
   /// closures until the last shard finalized the report.
   static std::future<LeakageReport> submit(std::shared_ptr<Campaign> self,
                                            engine::Scheduler& scheduler) {
-    return scheduler.submit<ShardState>(
-        self->batch_count(),
+    return scheduler.submit_blocks<ShardState>(
+        self->batch_count(), self->lane_words_,
         [self](std::size_t) { return self->make_shard_state(); },
-        [self](ShardState& state, std::size_t batch) {
-          self->run_batch(state, batch);
+        [self](ShardState& state, std::size_t batch_begin, std::size_t words) {
+          self->run_block(state, batch_begin, words);
         },
         [](ShardState& into, ShardState&& from) {
           into.moments.merge(from.moments);
@@ -165,22 +201,26 @@ class Campaign {
   }
 
  private:
-  /// Everything one shard mutates: its own simulator, the per-batch
-  /// stimulus stream, the mergeable statistics, and the per-lane group
-  /// energy scratch (the fused power accumulation - no per-lane power
-  /// vector is ever materialized).
+  /// Everything one shard mutates: its own K-word simulator, one
+  /// per-batch stimulus stream and class mask per lane word, the mergeable
+  /// statistics, and the per-(word, lane) group energy scratch (the fused
+  /// power accumulation - no per-lane power vector is ever materialized).
   struct ShardState {
     sim::Simulator simulator;
-    util::Xoshiro256 stimulus;
+    std::vector<util::Xoshiro256> stimulus;   // one stream per lane word
+    std::vector<std::uint64_t> class_masks;   // per-word fixed-class mask
     CampaignMoments moments;
     std::vector<double> lane_sums;
   };
 
   [[nodiscard]] ShardState make_shard_state() const {
     return ShardState{
-        sim::Simulator(compiled_, /*seed=*/0), util::Xoshiro256(0),
+        sim::Simulator(compiled_, /*seed=*/0, lane_words_),
+        std::vector<util::Xoshiro256>(lane_words_, util::Xoshiro256(0)),
+        std::vector<std::uint64_t>(lane_words_, 0),
         CampaignMoments(plan_.group_count(), plan_.multi_group_count()),
-        std::vector<double>(plan_.multi_group_count() * sim::kLanes, 0.0)};
+        std::vector<double>(
+            plan_.multi_group_count() * lane_words_ * sim::kLanes, 0.0)};
   }
 
   [[nodiscard]] bool design_has_dff() const {
@@ -197,112 +237,108 @@ class Campaign {
 
   /// Pre-transition state: every trace starts from a fresh random vector on
   /// data-like inputs; fixed-common inputs (the key) hold their fixed value
-  /// even between traces, as a loaded key register would.
-  void apply_base_inputs(ShardState& state) const {
+  /// even between traces, as a loaded key register would. Inputs outer,
+  /// lane words inner: each word's stimulus stream draws in the same
+  /// input-ascending order the one-word path used.
+  void apply_base_inputs(ShardState& state, std::size_t words) const {
     const auto& inputs = design_.primary_inputs();
     for (std::size_t i = 0; i < inputs.size(); ++i) {
-      const std::uint64_t word = input_class(i) == InputClass::kFixedCommon
-                                     ? (fixed_a_[i] ? ~0ULL : 0ULL)
-                                     : state.stimulus();
-      state.simulator.set_input(i, word);
+      if (input_class(i) == InputClass::kFixedCommon) {
+        const std::uint64_t word = fixed_a_[i] ? ~0ULL : 0ULL;
+        for (std::size_t w = 0; w < words; ++w) {
+          state.simulator.set_input_word(i, w, word);
+        }
+      } else {
+        for (std::size_t w = 0; w < words; ++w) {
+          state.simulator.set_input_word(i, w, state.stimulus[w]());
+        }
+      }
     }
   }
 
-  void apply_target_inputs(ShardState& state, std::uint64_t fixed_mask) const {
+  void apply_target_inputs(ShardState& state, std::size_t words) const {
     const auto& inputs = design_.primary_inputs();
     for (std::size_t i = 0; i < inputs.size(); ++i) {
       const std::uint64_t a = fixed_a_[i] ? ~0ULL : 0ULL;
       const std::uint64_t b = fixed_b_[i] ? ~0ULL : 0ULL;
-      std::uint64_t word = 0;
-      switch (input_class(i)) {
-        case InputClass::kSensitive:
-          word = (mode_ == Mode::kFixedVsRandom)
-                     ? (a & fixed_mask) | (state.stimulus() & ~fixed_mask)
-                     : (a & fixed_mask) | (b & ~fixed_mask);
-          break;
-        case InputClass::kFixedCommon:
-          word = a;
-          break;
-        case InputClass::kRandomCommon:
-          word = state.stimulus();
-          break;
+      for (std::size_t w = 0; w < words; ++w) {
+        const std::uint64_t fixed_mask = state.class_masks[w];
+        std::uint64_t word = 0;
+        switch (input_class(i)) {
+          case InputClass::kSensitive:
+            word = (mode_ == Mode::kFixedVsRandom)
+                       ? (a & fixed_mask) |
+                             (state.stimulus[w]() & ~fixed_mask)
+                       : (a & fixed_mask) | (b & ~fixed_mask);
+            break;
+          case InputClass::kFixedCommon:
+            word = a;
+            break;
+          case InputClass::kRandomCommon:
+            word = state.stimulus[w]();
+            break;
+        }
+        state.simulator.set_input_word(i, w, word);
       }
-      state.simulator.set_input(i, word);
     }
   }
 
-  /// One batch, fully keyed by its global index: stimulus stream, class
-  /// mask, and mask-share randomness are all derived from (seed, batch),
-  /// so any shard on any thread reproduces it exactly.
-  void run_batch(ShardState& state, std::size_t batch) const {
-    const auto index = static_cast<std::uint64_t>(batch);
-    state.stimulus = util::Xoshiro256(
-        engine::stream_seed(config_.seed, index, kTagStimulus));
-    const std::uint64_t mask =
-        engine::stream_seed(config_.seed, index, kTagClassMask);
-    const std::uint64_t sim_seed =
-        engine::stream_seed(config_.seed, index, kTagMaskShares);
+  /// One lane block of `words` consecutive batches, each fully keyed by
+  /// its global index: lane word w carries batch batch_begin + w, with
+  /// stimulus stream, class mask, and mask-share randomness all derived
+  /// from (seed, batch_begin + w) - exactly the streams that batch
+  /// consumed when it ran alone, so any block width, shard, or thread
+  /// reproduces it bit-identically. Tail blocks (words < lane_words_)
+  /// evaluate the full simulator width but only seed and sample the
+  /// leading `words` lane words.
+  void run_block(ShardState& state, std::size_t batch_begin,
+                 std::size_t words) const {
+    for (std::size_t w = 0; w < words; ++w) {
+      const auto index = static_cast<std::uint64_t>(batch_begin + w);
+      state.stimulus[w] = util::Xoshiro256(
+          engine::stream_seed(config_.seed, index, kTagStimulus));
+      state.class_masks[w] =
+          engine::stream_seed(config_.seed, index, kTagClassMask);
+    }
 
-    if (sequential_) {
-      state.simulator.reset(sim_seed);
+    if (sequential_) {  // lane_words_ == 1: one batch per block
+      state.simulator.reset(
+          engine::stream_seed(config_.seed, batch_begin, kTagMaskShares));
       for (std::size_t cycle = 0;
            cycle < config_.warmup_cycles + config_.cycles_per_batch; ++cycle) {
-        apply_target_inputs(state, mask);
+        apply_target_inputs(state, words);
         state.simulator.eval();
-        if (cycle >= config_.warmup_cycles) sample(state, mask);
+        if (cycle >= config_.warmup_cycles) sample(state, words);
         state.simulator.latch();
       }
-    } else {
-      state.simulator.reseed(sim_seed);
-      apply_base_inputs(state);
-      state.simulator.eval();  // base state; not sampled
-      apply_target_inputs(state, mask);
-      state.simulator.eval();
-      sample(state, mask);
+      return;
     }
+
+    for (std::size_t w = 0; w < words; ++w) {
+      state.simulator.reseed_word(
+          w, engine::stream_seed(config_.seed,
+                                 static_cast<std::uint64_t>(batch_begin + w),
+                                 kTagMaskShares));
+    }
+    apply_base_inputs(state, words);
+    // Base state: never sampled, so skip toggle recording - the target
+    // eval recomputes every gate's toggle (base -> target) from values.
+    state.simulator.eval(/*record_toggles=*/false);
+    apply_target_inputs(state, words);
+    state.simulator.eval();
+    sample(state, words);
   }
 
-  /// Fused toggle/energy readout over the compiled sampling plan: toggle
-  /// words are read straight by slot, singles feed the binary counters,
-  /// multi members accumulate pre-resolved energies into per-lane sums in
-  /// ascending-GateId order (the accumulation-order contract that keeps
-  /// every t-stat bit-identical to the interpreter).
-  void sample(ShardState& state, std::uint64_t fixed_mask) const {
-    const auto n_fixed =
-        static_cast<std::uint64_t>(__builtin_popcountll(fixed_mask));
-    state.moments.add_lane_counts(n_fixed, sim::kLanes - n_fixed);
-
-    const std::uint64_t* toggle_words = state.simulator.toggle_words();
-    for (const auto& op : plan_.singles()) {
-      const std::uint64_t toggles = toggle_words[op.toggle_slot];
-      if (toggles == 0) continue;
-      state.moments.add_single_ones(
-          op.group,
-          static_cast<std::uint64_t>(__builtin_popcountll(toggles & fixed_mask)),
-          static_cast<std::uint64_t>(
-              __builtin_popcountll(toggles & ~fixed_mask)));
-    }
-    for (const auto& op : plan_.multis()) {
-      const std::uint64_t toggles = toggle_words[op.toggle_slot];
-      if (toggles == 0) continue;
-      double* lane_sum = &state.lane_sums[op.multi * sim::kLanes];
-      std::uint64_t bits = toggles;
-      while (bits != 0) {
-        const int lane = __builtin_ctzll(bits);
-        lane_sum[lane] += op.energy;
-        bits &= bits - 1;
-      }
-    }
-    // Every sample step contributes one sample per lane to each multi group
-    // (possibly zero-valued); push and clear.
-    for (std::size_t m = 0; m < plan_.multi_group_count(); ++m) {
-      double* lane_sum = &state.lane_sums[m * sim::kLanes];
-      for (std::size_t lane = 0; lane < sim::kLanes; ++lane) {
-        const bool fixed = ((fixed_mask >> lane) & 1ULL) != 0;
-        state.moments.add_multi_sample(m, fixed, lane_sum[lane]);
-        lane_sum[lane] = 0.0;
-      }
-    }
+  /// Fused toggle/energy readout of the block via the compiled sampling
+  /// plan (power::SamplePlan::sample): singles feed the binary counters,
+  /// multi members accumulate pre-resolved energies per (word, lane) in
+  /// ascending-GateId order, and per-group samples are pushed word-major -
+  /// the accumulation-order contract that keeps every t-stat bit-identical
+  /// to the one-word path.
+  void sample(ShardState& state, std::size_t words) const {
+    sample_block(plan_, state.simulator.toggle_words(), lane_words_, words,
+                 state.class_masks.data(), state.lane_sums.data(),
+                 state.moments);
   }
 
   LeakageReport finalize(const CampaignMoments& moments) {
@@ -334,6 +370,7 @@ class Campaign {
   power::PowerModel power_;
   power::SamplePlan plan_;
   bool sequential_ = false;
+  std::size_t lane_words_ = 1;
   std::vector<bool> fixed_a_, fixed_b_;
 };
 
