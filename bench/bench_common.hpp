@@ -29,12 +29,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <initializer_list>
 #include <span>
 #include <string>
 #include <string_view>
 
 #include "circuits/suite.hpp"
 #include "core/polaris.hpp"
+#include "obs/obs.hpp"
 #include "techlib/techlib.hpp"
 #include "util/math.hpp"
 #include "util/table.hpp"
@@ -146,6 +148,23 @@ class JsonLine {
 
   std::string body_;
 };
+
+/// Appends named counters from the process-wide obs registry onto a bench
+/// JSON line ('.' becomes '_' in the key, JsonLine keys being bare
+/// identifiers by convention). Absent counters report 0, so a bench can
+/// list metrics its configuration never touches.
+inline JsonLine& append_obs_counters(JsonLine& line,
+                                     std::initializer_list<const char*> names) {
+  const obs::Snapshot snapshot = obs::Registry::global().snapshot();
+  for (const char* name : names) {
+    std::string key(name);
+    for (char& c : key) {
+      if (c == '.') c = '_';
+    }
+    line.field(key, snapshot.counter_value(name));
+  }
+  return line;
+}
 
 struct TrainedPolaris {
   core::Polaris polaris;

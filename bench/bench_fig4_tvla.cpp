@@ -141,9 +141,11 @@ int main() {
   std::printf("raw series written to fig4_tvla_des3.csv\n");
 
   // Machine-readable perf record (one JSON line, greppable by future PRs):
-  // wall-clock of the un-masked des3 campaign above.
-  bench::JsonLine("fig4_tvla")
-      .field("design", "des3")
+  // wall-clock of the un-masked des3 campaign above, plus run-total obs
+  // counters - tvla_traces / sched_shards contextualize the rate when a
+  // future PR changes sharding or batching.
+  bench::JsonLine line("fig4_tvla");
+  line.field("design", "des3")
       .field("traces", setup.traces)
       .field("threads", engine::ThreadPool::resolve_threads(tvla_config.threads))
       .field("compile_ms", des3_compile_ms)
@@ -152,7 +154,9 @@ int main() {
              campaign_seconds > 0.0
                  ? static_cast<double>(setup.traces) / campaign_seconds
                  : 0.0,
-             1)
+             1);
+  bench::append_obs_counters(
+      line, {"tvla.campaigns", "tvla.traces", "sched.shards", "pool.tasks"})
       .print();
   return 0;
 }

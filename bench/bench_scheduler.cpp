@@ -150,8 +150,8 @@ int main() {
     return peak;
   };
 
-  bench::JsonLine("scheduler")
-      .field("designs", n)
+  bench::JsonLine line("scheduler");
+  line.field("designs", n)
       .field("threads", scheduler.threads())
       .field("total_traces", total_traces)
       .field("compile_ms", compile_ms)
@@ -168,7 +168,8 @@ int main() {
              scheduler_seconds > 0.0
                  ? static_cast<double>(total_traces) / scheduler_seconds
                  : 0.0,
-             1)
+             1);
+  bench::append_obs_counters(line, {"sched.campaigns", "sched.shards"})
       .print();
   return mismatched == 0 ? 0 : 1;
 }

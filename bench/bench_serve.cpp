@@ -130,8 +130,25 @@ int main() {
       (void)run_scenario(daemon.socket_path(), audit_config,
                          {1, true, 1}, seed_base);
     }
+    // Daemon-side latency comes from the server's own request histogram:
+    // stats snapshots before/after the scenario, interval delta via
+    // HistogramSnapshot::subtract. The snapshots travel over the real
+    // socket (the `stats` request), exactly as an external monitor's would.
+    server::Client stats_client(daemon.socket_path());
+    const obs::Snapshot stats_before = stats_client.stats().snapshot;
     auto measurement = run_scenario(daemon.socket_path(), audit_config,
                                     scenario, seed_base);
+    const obs::Snapshot stats_after = stats_client.stats().snapshot;
+    double daemon_p50_ms = 0.0;
+    double daemon_p95_ms = 0.0;
+    if (const auto* after = stats_after.find_histogram("server.audit_us")) {
+      obs::HistogramSnapshot delta = *after;
+      if (const auto* before = stats_before.find_histogram("server.audit_us")) {
+        delta.subtract(*before);
+      }
+      daemon_p50_ms = delta.percentile(0.50) / 1e3;
+      daemon_p95_ms = delta.percentile(0.95) / 1e3;
+    }
     const std::size_t total = measurement.latencies_ms.size();
     const double rps =
         measurement.wall_seconds > 0.0
@@ -146,6 +163,8 @@ int main() {
         .field("rps", rps, 1)
         .field("p50_ms", percentile(measurement.latencies_ms, 0.50), 3)
         .field("p95_ms", percentile(measurement.latencies_ms, 0.95), 3)
+        .field("daemon_p50_ms", daemon_p50_ms, 3)
+        .field("daemon_p95_ms", daemon_p95_ms, 3)
         .field("wall_s", measurement.wall_seconds, 3);
     line.print();
     seed_base += 10000;  // scenarios never share cold seeds

@@ -1,20 +1,44 @@
 #include "core/result_cache.hpp"
 
+#include "obs/obs.hpp"
+
 namespace polaris::core {
 
+namespace {
+// Per-instance counters live in the members below (the server's ping reply
+// reports its own cache); the global registry additionally aggregates all
+// caches in the process for `client stats` / bench readouts.
+struct CacheMetrics {
+  obs::Counter& hits = obs::Registry::global().counter("cache.hits");
+  obs::Counter& misses = obs::Registry::global().counter("cache.misses");
+  obs::Counter& bytes = obs::Registry::global().counter("cache.bytes");
+  obs::Counter& evictions =
+      obs::Registry::global().counter("cache.evictions");
+  static CacheMetrics& get() {
+    static CacheMetrics metrics;
+    return metrics;
+  }
+};
+}  // namespace
+
 ResultCache::Body ResultCache::get(std::uint64_t key) {
+  auto& metrics = CacheMetrics::get();
   const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++misses_;
+    metrics.misses.add();
     return nullptr;
   }
   ++hits_;
+  metrics.hits.add();
   return it->second;
 }
 
 void ResultCache::put(std::uint64_t key, Body body) {
   if (capacity_ == 0) return;
+  auto& metrics = CacheMetrics::get();
+  metrics.bytes.add(body == nullptr ? 0 : body->size());
   const std::lock_guard<std::mutex> lock(mutex_);
   const auto [it, inserted] = entries_.try_emplace(key, std::move(body));
   if (!inserted) {
@@ -25,6 +49,7 @@ void ResultCache::put(std::uint64_t key, Body body) {
   while (entries_.size() > capacity_) {
     entries_.erase(order_.front());
     order_.pop_front();
+    metrics.evictions.add();
   }
 }
 

@@ -1,16 +1,31 @@
 #include "engine/scheduler.hpp"
 
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+
 namespace polaris::engine {
 
 void Scheduler::enqueue(std::shared_ptr<CampaignTask> campaign) {
+  static auto& campaigns = obs::Registry::global().counter("sched.campaigns");
+  static auto& shards = obs::Registry::global().counter("sched.shards");
+  static auto& queue_at_submit =
+      obs::Registry::global().histogram("sched.queue_at_submit");
+  campaign->enqueue_ns = obs::now_ns();
+  campaigns.add();
+  shards.add(campaign->plan.shard_count);
   const std::lock_guard<std::mutex> lock(mutex_);
   campaign->sequence = next_sequence_++;
   for (std::size_t shard = 0; shard < campaign->plan.shard_count; ++shard) {
     queue_.push(QueueEntry{campaign, shard});
   }
+  // LPT queue length as seen by this submit, including its own shards.
+  queue_at_submit.record(queue_.size());
 }
 
 bool Scheduler::run_next() {
+  static auto& shard_us = obs::Registry::global().histogram("sched.shard_us");
+  static auto& campaign_us =
+      obs::Registry::global().histogram("sched.campaign_us");
   QueueEntry entry;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -18,7 +33,14 @@ bool Scheduler::run_next() {
     entry = queue_.top();
     queue_.pop();
   }
-  entry.campaign->run_shard(entry.shard);
+  {
+    obs::Span span("shard", "sched");
+    span.arg("seq", entry.campaign->sequence)
+        .arg("shard", static_cast<std::uint64_t>(entry.shard));
+    const std::int64_t t0 = obs::now_ns();
+    entry.campaign->run_shard(entry.shard);
+    shard_us.record(static_cast<std::uint64_t>((obs::now_ns() - t0) / 1000));
+  }
   bool last = false;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -27,7 +49,14 @@ bool Scheduler::run_next() {
   // The finisher saw the last decrement under the mutex, so every shard's
   // state write happens-before this merge regardless of which threads ran
   // them. Merging outside the lock keeps other drain threads popping.
-  if (last) entry.campaign->finish();
+  if (last) {
+    obs::Span span("merge", "sched");
+    span.arg("seq", entry.campaign->sequence);
+    entry.campaign->finish();
+    // Campaign makespan: submit-to-finalized, queueing included.
+    campaign_us.record(static_cast<std::uint64_t>(
+        (obs::now_ns() - entry.campaign->enqueue_ns) / 1000));
+  }
   return true;
 }
 

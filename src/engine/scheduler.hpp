@@ -143,6 +143,7 @@ class Scheduler {
     std::size_t weight = 0;
     std::uint64_t sequence = 0;  // submission order, the priority tie-break
     std::size_t remaining = 0;   // shards not yet executed
+    std::int64_t enqueue_ns = 0;  // obs timebase; makespan = finish - this
   };
 
   template <class State, class Result, class MakeState, class RunBlock,

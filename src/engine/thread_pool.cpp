@@ -1,9 +1,11 @@
 #include "engine/thread_pool.hpp"
 
 #include <algorithm>
-#include <cstdio>
 #include <cstdlib>
 #include <exception>
+#include <string>
+
+#include "obs/obs.hpp"
 
 namespace polaris::engine {
 
@@ -11,9 +13,21 @@ namespace {
 /// True while this thread executes a job's fn; parallel_for consults it so
 /// nested fan-outs run inline instead of compounding their caps.
 thread_local bool t_inside_job = false;
+
+/// Best-effort message for a caught-by-pointer exception (cold path only).
+std::string describe_exception(const std::exception_ptr& error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "(non-std exception)";
+  }
+}
 }  // namespace
 
-ThreadPool::ThreadPool(std::size_t workers) {
+ThreadPool::ThreadPool(std::size_t workers, std::string name)
+    : name_(std::move(name)) {
   workers_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -43,6 +57,15 @@ void ThreadPool::drive(std::unique_lock<std::mutex>& lock,
     }
     const std::size_t index = job->next++;
     lock.unlock();
+    // Task-granular metrics: every fn(i) here is a shard/design-sized
+    // task (never the kernel inner loop), so two clock reads per task are
+    // noise. busy_us across all threads over wall-clock gives utilization.
+    static auto& tasks = obs::Registry::global().counter("pool.tasks");
+    static auto& busy_us = obs::Registry::global().counter("pool.busy_us");
+    static auto& exceptions =
+        obs::Registry::global().counter("pool.task_exceptions");
+    static auto& task_us = obs::Registry::global().histogram("pool.task_us");
+    const std::int64_t t0 = obs::now_ns();
     std::exception_ptr error;
     t_inside_job = true;
     try {
@@ -51,6 +74,20 @@ void ThreadPool::drive(std::unique_lock<std::mutex>& lock,
       error = std::current_exception();
     }
     t_inside_job = false;
+    const auto elapsed_us =
+        static_cast<std::uint64_t>((obs::now_ns() - t0) / 1000);
+    tasks.add();
+    busy_us.add(elapsed_us);
+    task_us.record(elapsed_us);
+    if (error) {
+      // Structured + rate-limited: a job whose every task throws reports a
+      // handful of lines and a counter, not n_total stderr writes. The
+      // exception itself still propagates to the submitter via job->error.
+      exceptions.add();
+      obs::log("pool", name_ + ": task " + std::to_string(index) + "/" +
+                           std::to_string(job->n_total) +
+                           " threw: " + describe_exception(error));
+    }
     lock.lock();
     if (error && !job->error) job->error = error;
     if (++job->completed == job->n_total) done_cv_.notify_all();
@@ -70,6 +107,13 @@ void ThreadPool::parallel_for(std::size_t n, std::size_t max_concurrency,
   const auto job = std::make_shared<Job>(n, tickets, fn);
   std::unique_lock<std::mutex> lock(mutex_);
   jobs_.push_back(job);
+  {
+    static auto& jobs = obs::Registry::global().counter("pool.jobs");
+    static auto& queue_depth =
+        obs::Registry::global().histogram("pool.queue_depth");
+    jobs.add();
+    queue_depth.record(jobs_.size());  // includes the job just pushed
+  }
   work_cv_.notify_all();
   drive(lock, job);  // the submitting thread always helps
   done_cv_.wait(lock, [&] { return job->completed == job->n_total; });
@@ -112,25 +156,28 @@ ThreadPool& ThreadPool::shared() {
   // values fall back to the hardware default WITH a warning: silently
   // accepting a typo as "0 workers" would quietly turn the TSan job's
   // real-thread interleaving into inline execution.
-  static ThreadPool pool([] {
-    const std::size_t fallback = resolve_threads(0) - 1;
-    const char* env = std::getenv("POLARIS_POOL_WORKERS");
-    if (env == nullptr || *env == '\0') return fallback;
-    char* end = nullptr;
-    const unsigned long long parsed = std::strtoull(env, &end, 10);
-    constexpr unsigned long long kMaxWorkers = 256;
-    if (*env < '0' || *env > '9' || *end != '\0' || parsed > kMaxWorkers) {
-      std::fprintf(stderr,
-                   "polaris: ignoring POLARIS_POOL_WORKERS='%s' (expected an "
-                   "integer in [0, %llu]); using %zu workers\n",
-                   env, kMaxWorkers, fallback);
-      return fallback;
-    }
-    // 0 means "auto", matching every other threads knob in the codebase
-    // (forced-serial execution comes from a threads=1 cap, not from an
-    // empty pool).
-    return parsed == 0 ? fallback : static_cast<std::size_t>(parsed);
-  }());
+  static ThreadPool pool(
+      [] {
+        const std::size_t fallback = resolve_threads(0) - 1;
+        const char* env = std::getenv("POLARIS_POOL_WORKERS");
+        if (env == nullptr || *env == '\0') return fallback;
+        char* end = nullptr;
+        const unsigned long long parsed = std::strtoull(env, &end, 10);
+        constexpr unsigned long long kMaxWorkers = 256;
+        if (*env < '0' || *env > '9' || *end != '\0' || parsed > kMaxWorkers) {
+          obs::log("pool",
+                   "ignoring POLARIS_POOL_WORKERS='" + std::string(env) +
+                       "' (expected an integer in [0, " +
+                       std::to_string(kMaxWorkers) + "]); using " +
+                       std::to_string(fallback) + " workers");
+          return fallback;
+        }
+        // 0 means "auto", matching every other threads knob in the codebase
+        // (forced-serial execution comes from a threads=1 cap, not from an
+        // empty pool).
+        return parsed == 0 ? fallback : static_cast<std::size_t>(parsed);
+      }(),
+      "shared");
   return pool;
 }
 

@@ -63,6 +63,11 @@ PingReply Client::ping() {
   return decode_ping_reply(response.body);
 }
 
+StatsReply Client::stats() {
+  const Response response = roundtrip(encode_stats_request());
+  return decode_stats_reply(response.body);
+}
+
 AuditReply Client::audit(const AuditRequest& request) {
   const Response response = roundtrip(encode_audit_request(request));
   AuditReply reply = decode_audit_reply(response.body);

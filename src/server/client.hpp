@@ -22,6 +22,8 @@ class Client {
   /// Each call sends one request frame and blocks for the response frame.
   /// An error response rethrows as ServerError (status + server message).
   [[nodiscard]] PingReply ping();
+  /// Registry snapshot + runtime identity of the daemon process.
+  [[nodiscard]] StatsReply stats();
   [[nodiscard]] AuditReply audit(const AuditRequest& request);
   [[nodiscard]] MaskReply mask(const MaskRequest& request);
   [[nodiscard]] ScoreReply score(const ScoreRequest& request);

@@ -140,6 +140,11 @@ std::vector<std::uint8_t> encode_shutdown_request() {
   return finish_request(out);
 }
 
+std::vector<std::uint8_t> encode_stats_request() {
+  auto out = request_header(RequestKind::kStats);
+  return finish_request(out);
+}
+
 std::vector<std::uint8_t> encode_audit_request(const AuditRequest& request) {
   auto out = request_header(RequestKind::kAudit);
   out.begin_chunk("AUDQ");
@@ -176,7 +181,7 @@ RequestKind decode_request_kind(serialize::Reader& in) {
   in.enter_chunk("POLQ");
   const std::uint8_t kind = in.u8();
   in.exit_chunk();
-  if (kind > static_cast<std::uint8_t>(RequestKind::kShutdown)) {
+  if (kind > static_cast<std::uint8_t>(RequestKind::kStats)) {
     throw std::runtime_error("polaris serve: unknown request kind " +
                              std::to_string(kind));
   }
@@ -226,6 +231,11 @@ std::vector<std::uint8_t> encode_ping_reply(const PingReply& reply) {
   out.u64(reply.requests_served);
   out.u64(reply.cache_hits);
   out.u64(reply.cache_entries);
+  // Runtime identity, appended at end-of-chunk (old readers skip it via
+  // the chunk length; new readers default the fields when absent).
+  out.str(reply.build_type);
+  out.str(reply.simd);
+  out.u64(reply.lane_words);
   out.end_chunk();
   return out.finish();
 }
@@ -240,6 +250,11 @@ PingReply decode_ping_reply(std::span<const std::uint8_t> body) {
   reply.requests_served = in.u64();
   reply.cache_hits = in.u64();
   reply.cache_entries = in.u64();
+  if (in.remaining() > 0) {  // pre-obs daemons end the chunk here
+    reply.build_type = in.str();
+    reply.simd = in.str();
+    reply.lane_words = in.u64();
+  }
   in.exit_chunk();
   return reply;
 }
@@ -326,6 +341,98 @@ ScoreReply decode_score_reply(std::span<const std::uint8_t> body) {
   ScoreReply reply;
   reply.design_name = in.str();
   reply.scores = in.f64_vec();
+  in.exit_chunk();
+  return reply;
+}
+
+std::vector<std::uint8_t> encode_stats_reply(const StatsReply& reply) {
+  serialize::Writer out;
+  out.begin_chunk("STTS");
+  out.u32(reply.protocol);
+  out.str(reply.model_name);
+  out.u64(reply.config_fingerprint);
+  out.str(reply.build_type);
+  out.str(reply.simd);
+  out.u64(reply.lane_words);
+  out.u64(reply.requests_served);
+  out.u64(reply.connections);
+  out.end_chunk();
+  // The registry snapshot, as its own chunk: counters as (name, value),
+  // histograms as (name, count, sum, sparse non-zero buckets).
+  out.begin_chunk("SNAP");
+  out.u64(reply.snapshot.counters.size());
+  for (const auto& counter : reply.snapshot.counters) {
+    out.str(counter.name);
+    out.u64(counter.value);
+  }
+  out.u64(reply.snapshot.histograms.size());
+  for (const auto& histogram : reply.snapshot.histograms) {
+    out.str(histogram.name);
+    out.u64(histogram.count);
+    out.u64(histogram.sum);
+    out.u64(histogram.buckets.size());
+    for (const auto& [index, count] : histogram.buckets) {
+      out.u32(index);
+      out.u64(count);
+    }
+  }
+  out.end_chunk();
+  return out.finish();
+}
+
+StatsReply decode_stats_reply(std::span<const std::uint8_t> body) {
+  serialize::Reader in(std::vector<std::uint8_t>(body.begin(), body.end()));
+  StatsReply reply;
+  in.enter_chunk("STTS");
+  reply.protocol = in.u32();
+  reply.model_name = in.str();
+  reply.config_fingerprint = in.u64();
+  reply.build_type = in.str();
+  reply.simd = in.str();
+  reply.lane_words = in.u64();
+  reply.requests_served = in.u64();
+  reply.connections = in.u64();
+  in.exit_chunk();
+  in.enter_chunk("SNAP");
+  // Check-before-allocate: a counter is at least a length-prefixed name
+  // plus a u64, a histogram at least four u64-sized fields, a bucket
+  // exactly 12 bytes - so hostile counts are rejected before any reserve.
+  const std::uint64_t n_counters = in.u64();
+  if (n_counters > in.remaining() / 16) {
+    throw std::runtime_error("polaris serve: stats counter count exceeds "
+                             "payload size");
+  }
+  reply.snapshot.counters.reserve(n_counters);
+  for (std::uint64_t i = 0; i < n_counters; ++i) {
+    obs::CounterSnapshot counter;
+    counter.name = in.str();
+    counter.value = in.u64();
+    reply.snapshot.counters.push_back(std::move(counter));
+  }
+  const std::uint64_t n_histograms = in.u64();
+  if (n_histograms > in.remaining() / 32) {
+    throw std::runtime_error("polaris serve: stats histogram count exceeds "
+                             "payload size");
+  }
+  reply.snapshot.histograms.reserve(n_histograms);
+  for (std::uint64_t i = 0; i < n_histograms; ++i) {
+    obs::HistogramSnapshot histogram;
+    histogram.name = in.str();
+    histogram.count = in.u64();
+    histogram.sum = in.u64();
+    const std::uint64_t n_buckets = in.u64();
+    if (n_buckets > in.remaining() / 12) {
+      throw std::runtime_error("polaris serve: stats bucket count exceeds "
+                               "payload size");
+    }
+    histogram.buckets.reserve(n_buckets);
+    for (std::uint64_t b = 0; b < n_buckets; ++b) {
+      const std::uint32_t index = in.u32();
+      const std::uint64_t count = in.u64();
+      histogram.buckets.emplace_back(index, count);
+    }
+    reply.snapshot.histograms.push_back(std::move(histogram));
+  }
   in.exit_chunk();
   return reply;
 }

@@ -37,6 +37,7 @@
 #include "core/config.hpp"
 #include "core/polaris.hpp"
 #include "netlist/netlist.hpp"
+#include "obs/obs.hpp"
 #include "serialize/archive.hpp"
 #include "tvla/tvla.hpp"
 
@@ -55,6 +56,9 @@ enum class RequestKind : std::uint8_t {
   kMask = 2,
   kScore = 3,
   kShutdown = 4,
+  kStats = 5,  // registry snapshot; unknown to pre-obs servers, which
+               // answer kBadPayload and keep the connection open - no
+               // protocol version bump needed
 };
 
 /// On-the-wire status codes (append-only, like every on-disk enum).
@@ -114,6 +118,26 @@ struct PingReply {
   std::uint64_t requests_served = 0;
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_entries = 0;
+  // Version/runtime identity (appended fields; see obs::runtime_info):
+  // what kernel is this daemon actually running?
+  std::string build_type;
+  std::string simd;
+  std::uint64_t lane_words = 0;
+};
+
+/// Registry snapshot plus the same runtime identity as PingReply. The
+/// snapshot is process-wide execution telemetry - by the obs contract it
+/// never feeds a fingerprint, so stats responses are never cached.
+struct StatsReply {
+  std::uint32_t protocol = kProtocolVersion;
+  std::string model_name;
+  std::uint64_t config_fingerprint = 0;
+  std::string build_type;
+  std::string simd;
+  std::uint64_t lane_words = 0;
+  std::uint64_t requests_served = 0;
+  std::uint64_t connections = 0;
+  obs::Snapshot snapshot;
 };
 
 struct AuditReply {
@@ -148,6 +172,7 @@ struct ScoreReply {
 /// the kind-specific decoder must then be called on the same reader.
 [[nodiscard]] std::vector<std::uint8_t> encode_ping_request();
 [[nodiscard]] std::vector<std::uint8_t> encode_shutdown_request();
+[[nodiscard]] std::vector<std::uint8_t> encode_stats_request();
 [[nodiscard]] std::vector<std::uint8_t> encode_audit_request(const AuditRequest& request);
 [[nodiscard]] std::vector<std::uint8_t> encode_mask_request(const MaskRequest& request);
 [[nodiscard]] std::vector<std::uint8_t> encode_score_request(const ScoreRequest& request);
@@ -162,11 +187,13 @@ struct ScoreReply {
 [[nodiscard]] std::vector<std::uint8_t> encode_audit_reply(const AuditReply& reply);
 [[nodiscard]] std::vector<std::uint8_t> encode_mask_reply(const MaskReply& reply);
 [[nodiscard]] std::vector<std::uint8_t> encode_score_reply(const ScoreReply& reply);
+[[nodiscard]] std::vector<std::uint8_t> encode_stats_reply(const StatsReply& reply);
 
 [[nodiscard]] PingReply decode_ping_reply(std::span<const std::uint8_t> body);
 [[nodiscard]] AuditReply decode_audit_reply(std::span<const std::uint8_t> body);
 [[nodiscard]] MaskReply decode_mask_reply(std::span<const std::uint8_t> body);
 [[nodiscard]] ScoreReply decode_score_reply(std::span<const std::uint8_t> body);
+[[nodiscard]] StatsReply decode_stats_reply(std::span<const std::uint8_t> body);
 
 /// Full response payload: POLS header (status/message/cache_hit) + BODY.
 /// `body` may be empty for error responses and ping-less bodies.

@@ -11,6 +11,8 @@
 #include <utility>
 
 #include "netlist/verilog.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 
 namespace polaris::server {
 
@@ -48,6 +50,40 @@ std::uint64_t combine_all(std::uint64_t key,
 [[noreturn]] void throw_errno(const std::string& what) {
   throw std::runtime_error("polaris serve: " + what + ": " +
                            std::strerror(errno));
+}
+
+/// Per-request-type service-time histogram (request decode + compute +
+/// cache lookup; frame I/O excluded). Nullptr is never returned - every
+/// decodable kind has a histogram.
+obs::Histogram& request_histogram(RequestKind kind) {
+  auto& registry = obs::Registry::global();
+  static auto& ping = registry.histogram("server.ping_us");
+  static auto& audit = registry.histogram("server.audit_us");
+  static auto& mask = registry.histogram("server.mask_us");
+  static auto& score = registry.histogram("server.score_us");
+  static auto& shutdown = registry.histogram("server.shutdown_us");
+  static auto& stats = registry.histogram("server.stats_us");
+  switch (kind) {
+    case RequestKind::kPing: return ping;
+    case RequestKind::kAudit: return audit;
+    case RequestKind::kMask: return mask;
+    case RequestKind::kScore: return score;
+    case RequestKind::kShutdown: return shutdown;
+    case RequestKind::kStats: return stats;
+  }
+  return ping;  // unreachable: decode_request_kind rejects unknown kinds
+}
+
+const char* request_name(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kPing: return "ping";
+    case RequestKind::kAudit: return "audit";
+    case RequestKind::kMask: return "mask";
+    case RequestKind::kScore: return "score";
+    case RequestKind::kShutdown: return "shutdown";
+    case RequestKind::kStats: return "stats";
+  }
+  return "?";
 }
 
 }  // namespace
@@ -170,6 +206,11 @@ void Server::accept_loop() {
     (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
     (void)::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
     connections_accepted_.fetch_add(1);
+    {
+      static auto& opened =
+          obs::Registry::global().counter("server.connections_opened");
+      opened.add();
+    }
     auto connection = std::make_unique<Connection>();
     Connection* raw = connection.get();
     {
@@ -189,6 +230,7 @@ void Server::accept_loop() {
   ::close(listen_fd_);
   listen_fd_ = -1;
   ::unlink(options_.socket_path.c_str());
+  const std::int64_t drain_start = obs::now_ns();
   std::vector<std::unique_ptr<Connection>> remaining;
   {
     const std::lock_guard<std::mutex> lock(connections_mutex_);
@@ -197,6 +239,9 @@ void Server::accept_loop() {
   for (auto& connection : remaining) {
     if (connection->thread.joinable()) connection->thread.join();
   }
+  static auto& drain_us = obs::Registry::global().histogram("server.drain_us");
+  drain_us.record(
+      static_cast<std::uint64_t>((obs::now_ns() - drain_start) / 1000));
 }
 
 void Server::reap_finished_connections() {
@@ -221,6 +266,11 @@ void Server::reap_finished_connections() {
 }
 
 void Server::handle_connection(int fd) {
+  auto& registry = obs::Registry::global();
+  static auto& frames_in = registry.counter("server.frames_in");
+  static auto& frames_out = registry.counter("server.frames_out");
+  static auto& frame_errors = registry.counter("server.frame_errors");
+  static auto& closed = registry.counter("server.connections_closed");
   // Consulted by the frame I/O loops on every socket timeout: a peer that
   // stalls mid-frame cannot hold this handler across a shutdown drain.
   const CancelProbe stop_probe = [this] { return stopping_.load(); };
@@ -238,6 +288,7 @@ void Server::handle_connection(int fd) {
         // Header-level failure: answer with a structured error frame, then
         // close - after a bad magic or an untrusted length field the byte
         // stream has no trustworthy next frame boundary.
+        frame_errors.add();
         const Status status = result == FrameResult::kBadMagic
                                   ? Status::kBadMagic
                                   : result == FrameResult::kBadVersion
@@ -247,9 +298,11 @@ void Server::handle_connection(int fd) {
                     encode_response(status, to_string(status),
                                     /*cache_hit=*/false, {}),
                     stop_probe);
+        frames_out.add();
         requests_served_.fetch_add(1);
         break;
       }
+      frames_in.add();
       if (!handle_payload(fd, payload)) break;
     }
   } catch (const std::exception&) {
@@ -257,17 +310,28 @@ void Server::handle_connection(int fd) {
     // usable stream; dropping this one connection is the contract.
   }
   ::close(fd);
+  closed.add();
 }
 
 bool Server::handle_payload(int fd, std::vector<std::uint8_t>& payload) {
+  auto& registry = obs::Registry::global();
+  static auto& frames_out = registry.counter("server.frames_out");
+  static auto& request_errors = registry.counter("server.request_errors");
   Status status = Status::kOk;
   std::string message;
   bool cache_hit = false;
   bool keep_open = true;
   core::ResultCache::Body body;
+  // Per-kind service time: decode through compute/cache lookup, known only
+  // once the kind decoded - an undecodable payload records nowhere.
+  obs::Histogram* service_us = nullptr;
+  const std::int64_t t0 = obs::now_ns();
+  obs::Span span("request", "server");
   try {
     serialize::Reader in(std::move(payload));
     const RequestKind kind = decode_request_kind(in);
+    service_us = &request_histogram(kind);
+    span.arg("kind", request_name(kind));
     if (stopping_.load() && kind != RequestKind::kPing &&
         kind != RequestKind::kShutdown) {
       throw ServerError(Status::kShuttingDown, to_string(Status::kShuttingDown));
@@ -277,6 +341,7 @@ bool Server::handle_payload(int fd, std::vector<std::uint8_t>& payload) {
       case RequestKind::kAudit: body = serve_audit(in, cache_hit); break;
       case RequestKind::kMask: body = serve_mask(in, cache_hit); break;
       case RequestKind::kScore: body = serve_score(in, cache_hit); break;
+      case RequestKind::kStats: body = serve_stats(); break;
       case RequestKind::kShutdown:
         keep_open = false;
         request_stop();
@@ -293,6 +358,12 @@ bool Server::handle_payload(int fd, std::vector<std::uint8_t>& payload) {
     message = error.what();
     body.reset();
   }
+  if (status != Status::kOk) request_errors.add();
+  if (service_us != nullptr) {
+    service_us->record(
+        static_cast<std::uint64_t>((obs::now_ns() - t0) / 1000));
+  }
+  span.arg("status", to_string(status)).arg("cache_hit", cache_hit);
   // The probe only fires on a send timeout: a cooperating client (blocked
   // in read) always gets its in-flight response, even mid-drain; only a
   // stalled peer with a full buffer is dropped.
@@ -301,19 +372,39 @@ bool Server::handle_payload(int fd, std::vector<std::uint8_t>& payload) {
            : std::span<const std::uint8_t>();
   write_frame(fd, encode_response(status, message, cache_hit, body_span),
               [this] { return stopping_.load(); });
+  frames_out.add();
   requests_served_.fetch_add(1);
   return keep_open;
 }
 
 core::ResultCache::Body Server::serve_ping() {
+  const obs::RuntimeInfo runtime = obs::runtime_info();
   PingReply reply;
   reply.model_name = info_.model_name;
   reply.config_fingerprint = info_.config_fingerprint;
   reply.requests_served = requests_served_.load();
   reply.cache_hits = cache_.hits();
   reply.cache_entries = cache_.size();
+  reply.build_type = runtime.build_type;
+  reply.simd = runtime.simd;
+  reply.lane_words = runtime.lane_words;
   return std::make_shared<const std::vector<std::uint8_t>>(
       encode_ping_reply(reply));
+}
+
+core::ResultCache::Body Server::serve_stats() {
+  const obs::RuntimeInfo runtime = obs::runtime_info();
+  StatsReply reply;
+  reply.model_name = info_.model_name;
+  reply.config_fingerprint = info_.config_fingerprint;
+  reply.build_type = runtime.build_type;
+  reply.simd = runtime.simd;
+  reply.lane_words = runtime.lane_words;
+  reply.requests_served = requests_served_.load();
+  reply.connections = connections_accepted_.load();
+  reply.snapshot = obs::Registry::global().snapshot();
+  return std::make_shared<const std::vector<std::uint8_t>>(
+      encode_stats_reply(reply));
 }
 
 core::ResultCache::Body Server::serve_audit(serialize::Reader& in,

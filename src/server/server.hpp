@@ -97,6 +97,9 @@ class Server {
   bool handle_payload(int fd, std::vector<std::uint8_t>& payload);
 
   core::ResultCache::Body serve_ping();
+  /// Registry snapshot + runtime identity. Never cached: the snapshot is
+  /// execution telemetry and changes between any two calls.
+  core::ResultCache::Body serve_stats();
   core::ResultCache::Body serve_audit(serialize::Reader& in, bool& cache_hit);
   core::ResultCache::Body serve_mask(serialize::Reader& in, bool& cache_hit);
   core::ResultCache::Body serve_score(serialize::Reader& in, bool& cache_hit);

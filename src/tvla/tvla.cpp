@@ -8,6 +8,8 @@
 
 #include "engine/scheduler.hpp"
 #include "engine/trace_engine.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "power/power_model.hpp"
 #include "power/sample_plan.hpp"
 #include "sim/compiled.hpp"
@@ -107,11 +109,25 @@ void sample_block(const power::SamplePlan& plan,
 /// per-shard setup never re-runs topological_order() or rebuilds a
 /// schedule. Execution and merging belong to the trace engine; all mutable
 /// per-shard state lives in ShardState.
+/// sim::compile wrapped in telemetry: the once-per-campaign cost the
+/// compiled-kernel refactor moved out of the shard loop, now visible as
+/// the `tvla.compile_us` histogram and a "compile" span.
+sim::CompiledDesignPtr compile_timed(const netlist::Netlist& design) {
+  static auto& compile_us =
+      obs::Registry::global().histogram("tvla.compile_us");
+  obs::Span span("compile", "tvla");
+  span.arg("gates", static_cast<std::uint64_t>(design.gate_count()));
+  const std::int64_t t0 = obs::now_ns();
+  auto compiled = sim::compile(design);
+  compile_us.record(static_cast<std::uint64_t>((obs::now_ns() - t0) / 1000));
+  return compiled;
+}
+
 class Campaign {
  public:
   Campaign(const netlist::Netlist& design, const techlib::TechLibrary& lib,
            const TvlaConfig& config, Mode mode)
-      : Campaign(sim::compile(design), lib, config, mode) {}
+      : Campaign(compile_timed(design), lib, config, mode) {}
 
   Campaign(sim::CompiledDesignPtr compiled, const techlib::TechLibrary& lib,
            const TvlaConfig& config, Mode mode)
@@ -148,6 +164,29 @@ class Campaign {
                               : (config.lane_words != 0
                                      ? config.lane_words
                                      : sim::default_lane_words());
+
+    // Telemetry only (never serialized, never fingerprinted): campaign
+    // count/trace budget counters, and an async trace span that follows
+    // the campaign across whichever threads run its shards. The span
+    // closes in finalize().
+    static auto& campaigns =
+        obs::Registry::global().counter("tvla.campaigns");
+    static auto& traces = obs::Registry::global().counter("tvla.traces");
+    campaigns.add();
+    traces.add(config_.traces);
+    auto& tracer = obs::Tracer::global();
+    if (tracer.enabled()) {
+      trace_id_ = obs::Tracer::next_async_id();
+      obs::TraceArgs args;
+      args.add("gates", static_cast<std::uint64_t>(design_.gate_count()))
+          .add("traces", static_cast<std::uint64_t>(config_.traces))
+          .add("lane_words", static_cast<std::uint64_t>(lane_words_))
+          .add("simd", sim::simd_name(lane_words_))
+          .add("sequential", sequential_)
+          .add("mode", mode_ == Mode::kFixedVsRandom ? "fixed-vs-random"
+                                                     : "fixed-vs-fixed");
+      tracer.async_begin("campaign", "tvla", trace_id_, std::move(args).str());
+    }
   }
 
   /// Trace budget in whole 64-lane batches (sequential designs pack
@@ -360,6 +399,9 @@ class Campaign {
                      .t;
       }
     }
+    if (trace_id_ != 0) {
+      obs::Tracer::global().async_end("campaign", "tvla", trace_id_);
+    }
     return LeakageReport(std::move(t), std::move(measured), config_.threshold);
   }
 
@@ -371,6 +413,7 @@ class Campaign {
   power::SamplePlan plan_;
   bool sequential_ = false;
   std::size_t lane_words_ = 1;
+  std::uint64_t trace_id_ = 0;  // async span id; 0 = tracing was off
   std::vector<bool> fixed_a_, fixed_b_;
 };
 

@@ -22,6 +22,7 @@
 #include "circuits/suite.hpp"
 #include "core/polaris.hpp"
 #include "netlist/verilog.hpp"
+#include "obs/obs.hpp"
 #include "server/client.hpp"
 #include "server/server.hpp"
 #include "techlib/techlib.hpp"
@@ -270,6 +271,62 @@ TEST_F(ServerTest, AuditCacheHitReplaysBitIdenticalReport) {
   server::AuditRequest other = request;
   other.config.tvla.seed = 99;
   EXPECT_FALSE(client.audit(other).cache_hit);
+}
+
+// --- observability ----------------------------------------------------------
+
+TEST_F(ServerTest, PingCarriesRuntimeIdentity) {
+  auto daemon = make_server(1);
+  server::Client client(daemon->socket_path());
+  const auto reply = client.ping();
+  const auto info = obs::runtime_info();
+  EXPECT_EQ(reply.build_type, info.build_type);
+  EXPECT_EQ(reply.simd, info.simd);
+  EXPECT_EQ(reply.lane_words, info.lane_words);
+}
+
+TEST_F(ServerTest, StatsRoundTripTracksCacheHitsAndRequestLatency) {
+  auto daemon = make_server(2);
+  server::Client client(daemon->socket_path());
+
+  const auto before = client.stats();
+  EXPECT_EQ(before.protocol, server::kProtocolVersion);
+  EXPECT_FALSE(before.build_type.empty());
+  EXPECT_FALSE(before.simd.empty());
+  EXPECT_GE(before.lane_words, 1u);
+
+  // The registry is process-global and other tests in this binary record
+  // into it, so every assertion below is on DELTAS between stats calls.
+  server::AuditRequest request;
+  request.design = "square";
+  request.scale = 0.3;
+  request.config = audit_config();
+  request.config.tvla.seed = 4242;  // fresh key: the first audit must miss
+  request.config.seed = 4242;
+  EXPECT_FALSE(client.audit(request).cache_hit);
+  const auto after_miss = client.stats();
+  EXPECT_TRUE(client.audit(request).cache_hit);
+  const auto after_hit = client.stats();
+
+  EXPECT_GE(after_miss.snapshot.counter_value("cache.misses"),
+            before.snapshot.counter_value("cache.misses") + 1);
+  EXPECT_GE(after_hit.snapshot.counter_value("cache.hits"),
+            after_miss.snapshot.counter_value("cache.hits") + 1);
+  EXPECT_GT(after_hit.requests_served, before.requests_served);
+  EXPECT_GE(after_hit.snapshot.counter_value("server.frames_in"),
+            before.snapshot.counter_value("server.frames_in") + 4);
+
+  // Both audits (hit and miss) landed in the daemon's request histogram.
+  const auto* hist = after_hit.snapshot.find_histogram("server.audit_us");
+  ASSERT_NE(hist, nullptr);
+  const auto* hist_before = before.snapshot.find_histogram("server.audit_us");
+  const std::uint64_t count_before =
+      hist_before == nullptr ? 0 : hist_before->count;
+  EXPECT_GE(hist->count, count_before + 2);
+  obs::HistogramSnapshot delta = *hist;
+  if (hist_before != nullptr) delta.subtract(*hist_before);
+  EXPECT_GE(delta.count, 2u);
+  EXPECT_GT(delta.percentile(0.95), 0.0);
 }
 
 // --- concurrency ------------------------------------------------------------
@@ -541,6 +598,41 @@ TEST(ServeProtocol, ResponsesRoundTripIncludingReports) {
   const auto back = server::decode_audit_reply(response.body);
   EXPECT_EQ(back.design_name, "d");
   expect_reports_bit_identical(back.report, reply.report);
+}
+
+TEST(ServeProtocol, StatsReplyRoundTripsRegistrySnapshot) {
+  server::StatsReply reply;
+  reply.model_name = "adaboost";
+  reply.config_fingerprint = 0x1234abcd;
+  reply.build_type = "release";
+  reply.simd = "avx2";
+  reply.lane_words = 4;
+  reply.requests_served = 7;
+  reply.connections = 3;
+  obs::Registry registry;  // local: the wire format, not the global state
+  registry.counter("cache.hits").add(41);
+  auto& histogram = registry.histogram("server.audit_us");
+  histogram.record(5);
+  histogram.record(100);
+  histogram.record(100000);
+  reply.snapshot = registry.snapshot();
+
+  const auto back =
+      server::decode_stats_reply(server::encode_stats_reply(reply));
+  EXPECT_EQ(back.protocol, server::kProtocolVersion);
+  EXPECT_EQ(back.model_name, "adaboost");
+  EXPECT_EQ(back.config_fingerprint, 0x1234abcdu);
+  EXPECT_EQ(back.build_type, "release");
+  EXPECT_EQ(back.simd, "avx2");
+  EXPECT_EQ(back.lane_words, 4u);
+  EXPECT_EQ(back.requests_served, 7u);
+  EXPECT_EQ(back.connections, 3u);
+  EXPECT_EQ(back.snapshot.counter_value("cache.hits"), 41u);
+  const auto* hist = back.snapshot.find_histogram("server.audit_us");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, 3u);
+  EXPECT_EQ(hist->sum, 100105u);
+  EXPECT_EQ(hist->buckets, reply.snapshot.histograms[0].buckets);
 }
 
 TEST(ServeProtocol, ErrorResponseCarriesStatusAndMessage) {

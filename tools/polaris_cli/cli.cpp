@@ -6,11 +6,45 @@
 #include <cstdio>
 #include <sstream>
 
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+#include "util/fileio.hpp"
 #include "util/math.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
 namespace polaris::cli {
+
+TraceGuard::TraceGuard(const std::string& path, const char* command)
+    : path_(path), command_(command) {
+  if (path_.empty()) return;
+  obs::Tracer::global().start();
+  start_ns_ = obs::now_ns();
+}
+
+TraceGuard::~TraceGuard() {
+  if (path_.empty()) return;
+  auto& tracer = obs::Tracer::global();
+  // Root span covering the whole command, so every nested span has a
+  // visible parent in Perfetto.
+  tracer.complete_event(command_, "cli", start_ns_, obs::now_ns() - start_ns_,
+                        std::string());
+  std::size_t events = 0;
+  const std::string json = tracer.stop_to_json(&events);
+  try {
+    util::write_file_atomic(path_, json);
+    std::fprintf(stderr, "polaris: wrote trace %s (%zu events)\n",
+                 path_.c_str(), events);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "polaris: cannot write trace %s: %s\n", path_.c_str(),
+                 error.what());
+  }
+}
+
+FlagSpec trace_flag_spec() {
+  return {"trace", true,
+          "write a Chrome trace-event JSON of this run (Perfetto-loadable)"};
+}
 
 ParsedFlags::ParsedFlags(std::span<const char* const> args,
                          std::span<const FlagSpec> specs) {

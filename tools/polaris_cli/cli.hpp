@@ -68,6 +68,28 @@ class ParsedFlags {
 /// JSON string escaping (quotes, backslashes, control characters).
 [[nodiscard]] std::string json_escape(const std::string& text);
 
+/// RAII wrapper for `--trace FILE`: starts the global obs::Tracer and
+/// opens a root span named after the command; the destructor closes the
+/// span, stops the tracer, and writes the Chrome trace-event JSON
+/// atomically to the file (a note goes to stderr, so --json stdout stays
+/// clean). An empty path disables everything - the guard then costs one
+/// branch per span on the instrumented paths, per the obs contract.
+class TraceGuard {
+ public:
+  TraceGuard(const std::string& path, const char* command);
+  ~TraceGuard();
+  TraceGuard(const TraceGuard&) = delete;
+  TraceGuard& operator=(const TraceGuard&) = delete;
+
+ private:
+  std::string path_;
+  const char* command_;
+  std::int64_t start_ns_ = 0;
+};
+
+/// The shared `--trace FILE` flag spec, appended by train/audit/mask.
+[[nodiscard]] FlagSpec trace_flag_spec();
+
 // Output renderers shared by the offline commands and `polaris_cli
 // client`: a served response prints byte-identically to its offline
 // counterpart because both go through the same formatter. None append a
@@ -102,5 +124,6 @@ int cmd_mask(std::span<const char* const> args);
 int cmd_inspect(std::span<const char* const> args);
 int cmd_serve(std::span<const char* const> args);
 int cmd_client(std::span<const char* const> args);
+int cmd_version(std::span<const char* const> args);
 
 }  // namespace polaris::cli

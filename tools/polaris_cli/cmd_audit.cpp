@@ -25,6 +25,7 @@ int cmd_audit(std::span<const char* const> args) {
   specs.push_back({"scale", true, "suite design-size scale in (0,1] (default 1.0)"});
   specs.push_back({"top", true, "list the N leakiest gates (default 10)"});
   specs.push_back({"json", false, "emit a JSON object (array when several designs)"});
+  specs.push_back(trace_flag_spec());
   specs.push_back({"help", false, "show this help"});
   const ParsedFlags flags(args, specs);
   if (flags.has("help")) {
@@ -33,6 +34,7 @@ int cmd_audit(std::span<const char* const> args) {
                 render_flag_help(specs).c_str());
     return 0;
   }
+  const TraceGuard trace(flags.get("trace"), "audit");
 
   const auto config = config_from_flags(flags);
   const double scale = flags.get_double("scale", 1.0);

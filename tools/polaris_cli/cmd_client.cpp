@@ -43,6 +43,29 @@ int client_ping(const ParsedFlags& flags) {
   return 0;
 }
 
+int client_stats(const ParsedFlags& flags) {
+  server::Client client(flags.require("socket"));
+  const auto reply = client.stats();
+  if (flags.has("prom")) {
+    // Prometheus text exposition; scrape-ready via `curl --unix-socket`-
+    // style bridges or a sidecar that shells out to this verb.
+    std::fputs(reply.snapshot.prometheus("polaris_").c_str(), stdout);
+    return 0;
+  }
+  std::printf("{\"server\":\"polaris\",\"protocol\":%u,\"model\":\"%s\","
+              "\"fingerprint\":\"%016llx\",\"build\":\"%s\",\"simd\":\"%s\","
+              "\"lane_words\":%llu,\"requests\":%llu,\"connections\":%llu,%s}\n",
+              reply.protocol, json_escape(reply.model_name).c_str(),
+              static_cast<unsigned long long>(reply.config_fingerprint),
+              json_escape(reply.build_type).c_str(),
+              json_escape(reply.simd).c_str(),
+              static_cast<unsigned long long>(reply.lane_words),
+              static_cast<unsigned long long>(reply.requests_served),
+              static_cast<unsigned long long>(reply.connections),
+              reply.snapshot.json_fragment().c_str());
+  return 0;
+}
+
 int client_audit(const ParsedFlags& flags) {
   const auto config = config_from_flags(flags);
   const double scale = flags.get_double("scale", 1.0);
@@ -202,6 +225,7 @@ int cmd_client(std::span<const char* const> args) {
         "\n"
         "verbs (each '--help' lists its flags):\n"
         "  ping      daemon liveness, bundle identity, cache stats (JSON)\n"
+        "  stats     daemon observability snapshot (JSON, or --prom text)\n"
         "  audit     TVLA leakage report, served (same output as 'audit')\n"
         "  mask      masked Verilog, served (same output as 'mask')\n"
         "  score     per-gate masking scores from the served model\n"
@@ -224,6 +248,21 @@ int cmd_client(std::span<const char* const> args) {
       return 0;
     }
     return verb == "ping" ? client_ping(flags) : client_shutdown(flags);
+  }
+  if (verb == "stats") {
+    const std::vector<FlagSpec> specs = {
+        socket_spec,
+        {"prom", false, "Prometheus text exposition instead of JSON"},
+        help_spec,
+    };
+    const ParsedFlags flags(rest, specs);
+    if (flags.has("help")) {
+      std::printf("usage: polaris_cli client stats --socket <path.sock> "
+                  "[--prom]\n\n%s",
+                  render_flag_help(specs).c_str());
+      return 0;
+    }
+    return client_stats(flags);
   }
   if (verb == "audit") {
     std::vector<FlagSpec> specs = config_flag_specs();
@@ -287,7 +326,7 @@ int cmd_client(std::span<const char* const> args) {
     return client_score(flags);
   }
   throw UsageError("unknown client verb '" + verb +
-                   "'; expected ping, audit, mask, score, or shutdown");
+                   "'; expected ping, stats, audit, mask, score, or shutdown");
 }
 
 }  // namespace polaris::cli

@@ -25,6 +25,7 @@ int cmd_mask(std::span<const char* const> args) {
       {"mode", true, "model | rules | model+rules (default model)"},
       {"verify", false, "run before/after TVLA on top (slow; sign-off only)"},
       {"json", false, "emit a JSON summary instead of text"},
+      trace_flag_spec(),
       {"help", false, "show this help"},
   };
   const ParsedFlags flags(args, specs);
@@ -34,6 +35,7 @@ int cmd_mask(std::span<const char* const> args) {
                 render_flag_help(specs).c_str());
     return 0;
   }
+  const TraceGuard trace(flags.get("trace"), "mask");
 
   const auto polaris = core::Polaris::load_bundle(flags.require("bundle"));
   const auto design = circuits::load_design(flags.require("design"),

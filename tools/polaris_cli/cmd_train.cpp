@@ -17,6 +17,7 @@ int cmd_train(std::span<const char* const> args) {
                    "train on only the first N suite designs (CI smoke runs)"});
   specs.push_back({"no-dataset", false,
                    "exclude the labelled training data from the bundle"});
+  specs.push_back(trace_flag_spec());
   specs.push_back({"help", false, "show this help"});
   const ParsedFlags flags(args, specs);
   if (flags.has("help")) {
@@ -24,6 +25,7 @@ int cmd_train(std::span<const char* const> args) {
                 render_flag_help(specs).c_str());
     return 0;
   }
+  const TraceGuard trace(flags.get("trace"), "train");
 
   const std::string out_path = flags.require("out");
   const auto config = config_from_flags(flags);

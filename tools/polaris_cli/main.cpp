@@ -33,8 +33,9 @@ void print_usage() {
       "  serve    long-lived daemon: load a bundle once, serve audit/mask/\n"
       "           score over a Unix socket until SIGINT/SIGTERM/shutdown\n"
       "  client   send one request to a running daemon (audit | mask |\n"
-      "           score | ping | shutdown); same output and exit codes as\n"
-      "           the offline commands\n"
+      "           score | ping | stats | shutdown); same output and exit\n"
+      "           codes as the offline commands\n"
+      "  version  build type, SIMD dispatch, and protocol versions\n"
       "\n"
       "designs are suite names (des3, arbiter, sin, md5, voter, square,\n"
       "sqrt, div, memctrl, multiplier, log2, ...) or structural Verilog\n"
@@ -65,6 +66,9 @@ int main(int argc, char** argv) {
     if (std::strcmp(command, "serve") == 0) return polaris::cli::cmd_serve(args);
     if (std::strcmp(command, "client") == 0) {
       return polaris::cli::cmd_client(args);
+    }
+    if (std::strcmp(command, "version") == 0) {
+      return polaris::cli::cmd_version(args);
     }
     if (std::strcmp(command, "--help") == 0 || std::strcmp(command, "-h") == 0) {
       print_usage();
