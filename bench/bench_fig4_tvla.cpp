@@ -66,6 +66,47 @@ int main() {
                    : 0.0,
                1)
         .print();
+    // --- adaptive probe: early-stop budget vs the fixed budget -----------
+    // Same campaign with TvlaBudget enabled (floor = traces/32, default
+    // margin). Records how many traces the checkpointed verdict saves while
+    // the design-level TVLA verdict (leaky yes/no) matches the full run's -
+    // the per-gate t series at the stop point is a partial view by design.
+    {
+      const auto full_verdict = report.leaky_count() > 0;
+      tvla::TvlaConfig adaptive = config;
+      adaptive.budget.enabled = true;
+      adaptive.budget.min_traces = std::max<std::size_t>(64, setup.traces / 32);
+      util::Timer adaptive_timer;
+      const auto early =
+          tvla::run_fixed_vs_random(compiled, setup.lib, adaptive);
+      const double adaptive_seconds = adaptive_timer.seconds();
+      const std::size_t used =
+          early.early_stopped() ? early.traces_used() : setup.traces;
+      const bool early_verdict = early.leaky_count() > 0;
+      const double saved_percent =
+          100.0 * (1.0 - static_cast<double>(used) /
+                             static_cast<double>(setup.traces));
+      std::printf("adaptive probe: budget floor %zu, stopped=%s at %zu/%zu "
+                  "traces (%.1f%% saved, %.3fs vs %.3fs), verdict %s vs %s\n\n",
+                  adaptive.budget.min_traces,
+                  early.early_stopped() ? "yes" : "no", used, setup.traces,
+                  saved_percent, adaptive_seconds, kernel_seconds,
+                  early_verdict ? "leaky" : "clean",
+                  full_verdict ? "leaky" : "clean");
+      bench::JsonLine("fig4_tvla_adaptive")
+          .field("design", "aes_sbox")
+          .field("traces", setup.traces)
+          .field("min_traces", adaptive.budget.min_traces)
+          .field("early_stopped", early.early_stopped() ? 1 : 0)
+          .field("traces_used", used)
+          .field("saved_percent", saved_percent)
+          .field("verdict_equal",
+                 early_verdict == full_verdict ? 1 : 0)
+          .field("leaky_at_stop", early.leaky_count())
+          .field("leaky_at_full", report.leaky_count())
+          .field("campaign_seconds", adaptive_seconds)
+          .print();
+    }
     // CI bench-smoke runs just the kernel probe: the full Fig. 4 flow below
     // trains a model first, which a perf-recording job does not need.
     const char* kernel_only = std::getenv("POLARIS_BENCH_KERNEL_ONLY");

@@ -92,6 +92,18 @@ void validate(const PolarisConfig& config) {
              " (the noise floor is a standard deviation; it cannot be "
              "negative)");
   }
+  if (config.tvla.budget.enabled) {
+    if (config.tvla.budget.min_traces == 0) {
+      complain("tvla.budget.min_traces = 0 (the first early-stop checkpoint "
+               "needs a positive trace floor)");
+    }
+    if (!(config.tvla.budget.margin >= 0.0) ||
+        !std::isfinite(config.tvla.budget.margin)) {
+      complain("tvla.budget.margin = " +
+               std::to_string(config.tvla.budget.margin) +
+               " (the early-stop decision margin cannot be negative)");
+    }
+  }
   if (!(config.coherence_smoothing >= 0.0 &&
         config.coherence_smoothing <= 1.0)) {
     complain("coherence_smoothing = " +
@@ -115,7 +127,13 @@ void validate(const PolarisConfig& config) {
 }
 
 void write_config(serialize::Writer& out, const PolarisConfig& config) {
-  out.u32(1);  // config payload version
+  // Version 1 is the pre-budget layout; a config with the early-stop
+  // budget DISABLED still writes version 1 byte-for-byte, so existing
+  // bundles, wire requests, and config fingerprints are unchanged unless
+  // the feature is actually used (fingerprint-affecting only when
+  // enabled). Budget-enabled configs append their fields as version 2.
+  const bool versioned = config.tvla.budget.enabled;
+  out.u32(versioned ? 2 : 1);  // config payload version
   out.u64(config.mask_size);
   out.u64(config.locality);
   out.u64(config.iterations);
@@ -144,10 +162,17 @@ void write_config(serialize::Writer& out, const PolarisConfig& config) {
   out.f64(config.coherence_smoothing);
   out.u64(config.seed);
   out.u64(config.threads);
+  if (versioned) {
+    out.boolean(config.tvla.budget.enabled);
+    out.u64(config.tvla.budget.min_traces);
+    out.f64(config.tvla.budget.margin);
+  }
 }
 
 PolarisConfig read_config(serialize::Reader& in) {
-  (void)in.u32();  // config payload version (appends-only policy)
+  // Appends-only policy: version 2 adds the early-stop budget fields at
+  // the end; a version-1 payload leaves them at their defaults (disabled).
+  const std::uint32_t version = in.u32();
   PolarisConfig config;
   config.mask_size = in.u64();
   config.locality = in.u64();
@@ -185,6 +210,11 @@ PolarisConfig read_config(serialize::Reader& in) {
   config.coherence_smoothing = in.f64();
   config.seed = in.u64();
   config.threads = in.u64();
+  if (version >= 2) {
+    config.tvla.budget.enabled = in.boolean();
+    config.tvla.budget.min_traces = in.u64();
+    config.tvla.budget.margin = in.f64();
+  }
   return config;
 }
 

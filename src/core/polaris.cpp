@@ -312,12 +312,14 @@ std::vector<double> Polaris::score_gates(const circuits::Design& design,
 
 std::vector<std::future<tvla::LeakageReport>> submit_audits(
     engine::Scheduler& scheduler, std::span<const circuits::Design> designs,
-    const techlib::TechLibrary& lib, const PolarisConfig& config) {
+    const techlib::TechLibrary& lib, const PolarisConfig& config,
+    tvla::ProgressFn progress) {
   std::vector<std::future<tvla::LeakageReport>> pending;
   pending.reserve(designs.size());
   for (const auto& design : designs) {
     pending.push_back(tvla::submit_fixed_vs_random(
-        scheduler, design.netlist, lib, tvla_config_for(config, design)));
+        scheduler, design.netlist, lib, tvla_config_for(config, design),
+        progress));
   }
   return pending;
 }

@@ -122,9 +122,12 @@ class Polaris {
 /// daemon: queues one fixed-vs-random campaign per design (classes from
 /// each design's roles) on an EXISTING scheduler, so concurrent callers'
 /// shards interleave in one LPT queue. The caller drains the scheduler and
-/// get()s the futures; designs and lib must outlive the drain.
+/// get()s the futures; designs and lib must outlive the drain. `progress`
+/// (optional) observes every campaign's early-stop checkpoints - it only
+/// fires when config.tvla.budget is enabled (streaming audits).
 [[nodiscard]] std::vector<std::future<tvla::LeakageReport>> submit_audits(
     engine::Scheduler& scheduler, std::span<const circuits::Design> designs,
-    const techlib::TechLibrary& lib, const PolarisConfig& config);
+    const techlib::TechLibrary& lib, const PolarisConfig& config,
+    tvla::ProgressFn progress = {});
 
 }  // namespace polaris::core

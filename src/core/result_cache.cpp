@@ -38,16 +38,32 @@ ResultCache::Body ResultCache::get(std::uint64_t key) {
 void ResultCache::put(std::uint64_t key, Body body) {
   if (capacity_ == 0) return;
   auto& metrics = CacheMetrics::get();
-  metrics.bytes.add(body == nullptr ? 0 : body->size());
+  const std::uint64_t incoming = body == nullptr ? 0 : body->size();
   const std::lock_guard<std::mutex> lock(mutex_);
+  // `bytes_` tracks resident bytes, so every path below that adds or drops
+  // an entry adjusts it under the same lock; the global gauge mirrors each
+  // delta (Counter::sub wraps, so cross-shard sums stay exact).
   const auto [it, inserted] = entries_.try_emplace(key, std::move(body));
   if (!inserted) {
+    // Refresh: replace the resident body's size, don't double-count it.
+    const std::uint64_t old_size =
+        it->second == nullptr ? 0 : it->second->size();
+    bytes_ += incoming - old_size;
+    metrics.bytes.add(incoming);
+    metrics.bytes.sub(old_size);
     it->second = std::move(body);  // refresh (identical bytes in practice)
     return;
   }
+  bytes_ += incoming;
+  metrics.bytes.add(incoming);
   order_.push_back(key);
   while (entries_.size() > capacity_) {
-    entries_.erase(order_.front());
+    const auto victim = entries_.find(order_.front());
+    const std::uint64_t evicted =
+        victim->second == nullptr ? 0 : victim->second->size();
+    bytes_ -= evicted;
+    metrics.bytes.sub(evicted);
+    entries_.erase(victim);
     order_.pop_front();
     metrics.evictions.add();
   }
@@ -66,6 +82,11 @@ std::uint64_t ResultCache::hits() const {
 std::uint64_t ResultCache::misses() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return misses_;
+}
+
+std::uint64_t ResultCache::bytes() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_;
 }
 
 }  // namespace polaris::core

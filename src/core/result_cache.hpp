@@ -39,6 +39,9 @@ class ResultCache {
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::uint64_t hits() const;
   [[nodiscard]] std::uint64_t misses() const;
+  /// Resident body bytes across all live entries (refresh replaces, evict
+  /// subtracts - this is occupancy, not cumulative traffic).
+  [[nodiscard]] std::uint64_t bytes() const;
 
   /// Folds `value` into `key` (FNV-1a step) - the helper request handlers
   /// use to extend a fingerprint with request parameters.
@@ -57,6 +60,7 @@ class ResultCache {
   std::deque<std::uint64_t> order_;  // insertion order, for FIFO eviction
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t bytes_ = 0;  // resident body bytes, guarded by mutex_
 };
 
 }  // namespace polaris::core

@@ -26,6 +26,8 @@ bool Scheduler::run_next() {
   static auto& shard_us = obs::Registry::global().histogram("sched.shard_us");
   static auto& campaign_us =
       obs::Registry::global().histogram("sched.campaign_us");
+  static auto& shards_cancelled =
+      obs::Registry::global().counter("sched.shards_cancelled");
   QueueEntry entry;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -33,7 +35,13 @@ bool Scheduler::run_next() {
     entry = queue_.top();
     queue_.pop();
   }
-  {
+  if (entry.campaign->cancelled.load(std::memory_order_relaxed)) {
+    // A checkpoint already decided this campaign: skip the shard body (its
+    // state could never merge past the frozen ceiling anyway) so the pool
+    // slot goes to the next undecided campaign in the LPT queue. The
+    // decrement below still runs - the campaign finishes normally.
+    shards_cancelled.add();
+  } else {
     obs::Span span("shard", "sched");
     span.arg("seq", entry.campaign->sequence)
         .arg("shard", static_cast<std::uint64_t>(entry.shard));

@@ -30,6 +30,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <exception>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -97,6 +98,39 @@ class Scheduler {
                                     RunBlock run_block, Merge merge,
                                     Finalize finalize,
                                     std::size_t weight = 0) {
+    return submit_checkpointed<State>(total_batches, block_words,
+                                      std::move(make), std::move(run_block),
+                                      std::move(merge), std::move(finalize),
+                                      /*checkpoints=*/{},
+                                      /*checkpoint=*/nullptr, weight);
+  }
+
+  /// Early-stopping variant. `checkpoints` is an ascending list of shard
+  /// prefix counts; each time the ascending incremental merge has covered
+  /// the first `c` shards, `checkpoint(merged, c)` runs exactly once (under
+  /// the campaign's merge lock, so checkpoints never race each other).
+  /// Returning true STOPS the campaign: the merge ceiling freezes at `c`,
+  /// so the result is finalized from exactly the first `c` shards - shards
+  /// that were already running keep going but their states are discarded,
+  /// and the campaign's unstarted shards are skipped when popped, which
+  /// hands their pool slots straight to the undecided campaigns behind
+  /// them in the LPT queue.
+  ///
+  /// Determinism: milestones are shard prefix counts computed from the
+  /// same pure ShardPlan, the merge is strictly ascending, and a stop
+  /// decision freezes the ceiling before any out-of-order state can join -
+  /// so stop decisions AND finalized results are bit-identical at every
+  /// thread count and block width. With an empty checkpoint this is
+  /// exactly submit_blocks (deferred merge in finish(), byte-identical).
+  template <class State, class MakeState, class RunBlock, class Merge,
+            class Finalize,
+            class Result = std::invoke_result_t<Finalize&, State&&>>
+  std::future<Result> submit_checkpointed(
+      std::size_t total_batches, std::size_t block_words, MakeState make,
+      RunBlock run_block, Merge merge, Finalize finalize,
+      std::vector<std::size_t> checkpoints,
+      std::function<bool(const State&, std::size_t)> checkpoint,
+      std::size_t weight = 0) {
     auto campaign = std::make_shared<
         TypedCampaign<State, Result, MakeState, RunBlock, Merge, Finalize>>(
         std::move(make), std::move(run_block), std::move(merge),
@@ -104,6 +138,9 @@ class Scheduler {
     campaign->plan = ShardPlan::make(total_batches);
     campaign->block = block_words == 0 ? 1 : block_words;
     campaign->weight = weight == 0 ? total_batches : weight;
+    campaign->checkpoint = std::move(checkpoint);
+    campaign->checkpoint_shards = std::move(checkpoints);
+    campaign->stop_at = campaign->plan.shard_count;
     std::future<Result> future = campaign->promise.get_future();
     if (campaign->plan.shard_count == 0) {
       campaign->finish();  // TraceEngine semantics: finalize(make(0))
@@ -144,6 +181,13 @@ class Scheduler {
     std::uint64_t sequence = 0;  // submission order, the priority tie-break
     std::size_t remaining = 0;   // shards not yet executed
     std::int64_t enqueue_ns = 0;  // obs timebase; makespan = finish - this
+    /// Set once when a checkpoint decides the campaign: run_next skips the
+    /// shard body for this campaign from then on (the decrement/finish
+    /// bookkeeping still runs, so the future still completes). Skipping is
+    /// an optimization only - a shard that slips through before the flag
+    /// is visible wastes work but cannot change the result, because the
+    /// merge ceiling (`stop_at`) froze under the merge lock.
+    std::atomic<bool> cancelled{false};
   };
 
   template <class State, class Result, class MakeState, class RunBlock,
@@ -164,7 +208,34 @@ class Scheduler {
         for (std::size_t b = plan.begin(shard); b < end; b += block) {
           run_block(state, b, std::min(block, end - b));
         }
+        if (!checkpoint) {
+          states[shard].emplace(std::move(state));
+          return;
+        }
+        // Checkpointed mode: publish the state under the merge lock (other
+        // drain threads read the slots below, so the lock-free emplace of
+        // the fixed path would race) and advance the ascending merge
+        // cursor, firing each milestone exactly once as it is crossed.
+        const std::lock_guard<std::mutex> merge_lock(merge_mutex);
         states[shard].emplace(std::move(state));
+        while (merged_upto < stop_at && states[merged_upto].has_value()) {
+          if (merged_upto == 0) {
+            merged.emplace(std::move(*states[0]));
+          } else {
+            merge(*merged, std::move(*states[merged_upto]));
+          }
+          states[merged_upto].reset();
+          ++merged_upto;
+          if (next_checkpoint < checkpoint_shards.size() &&
+              merged_upto == checkpoint_shards[next_checkpoint]) {
+            ++next_checkpoint;
+            if (checkpoint(*merged, merged_upto)) {
+              stop_at = merged_upto;  // freeze: no later state ever merges
+              cancelled.store(true, std::memory_order_relaxed);
+              break;
+            }
+          }
+        }
       } catch (...) {
         const std::lock_guard<std::mutex> lock(error_mutex);
         if (!error) error = std::current_exception();
@@ -177,6 +248,14 @@ class Scheduler {
         if (error) std::rethrow_exception(error);
         if (states.empty()) {  // zero-batch campaign
           promise.set_value(finalize(make(0)));
+          return;
+        }
+        if (checkpoint) {
+          // `merged` already holds the ascending merge of shards
+          // [0, stop_at); anything later was skipped or discarded. The
+          // finisher saw the last remaining-decrement under the scheduler
+          // mutex, which the merging threads' writes happen-before.
+          promise.set_value(finalize(std::move(*merged)));
           return;
         }
         State total = std::move(*states[0]);
@@ -198,6 +277,16 @@ class Scheduler {
     std::mutex error_mutex;
     std::exception_ptr error;
     std::atomic<bool> failed{false};
+    /// Empty on the fixed-budget path (deferred merge in finish(), the
+    /// pre-existing byte-identical behavior). Non-empty switches run_shard
+    /// to the incremental ascending merge above.
+    std::function<bool(const State&, std::size_t)> checkpoint;
+    std::vector<std::size_t> checkpoint_shards;  // ascending prefix counts
+    std::mutex merge_mutex;       // guards merged/merged_upto/states below
+    std::optional<State> merged;  // ascending merge of shards [0, merged_upto)
+    std::size_t merged_upto = 0;
+    std::size_t next_checkpoint = 0;
+    std::size_t stop_at = 0;  // merge ceiling; lowered once on a stop
   };
 
   struct QueueEntry {

@@ -72,6 +72,10 @@ double HistogramSnapshot::percentile(double p) const {
     if (seen >= rank) {
       const double lower =
           static_cast<double>(Histogram::bucket_lower(index));
+      // The first kLinearBuckets buckets have width 1, so the lower bound
+      // IS the recorded value - reporting the midpoint there would shift
+      // every small sample by +0.5 (p50 of all-zeros must be 0, not 0.5).
+      if (index < Histogram::kLinearBuckets) return lower;
       const double upper =
           static_cast<double>(Histogram::bucket_upper(index));
       return lower + (upper - lower) / 2.0;

@@ -54,6 +54,12 @@ class Counter {
         n, std::memory_order_relaxed);
   }
 
+  /// Wrapping decrement for gauge-style counters (resident bytes):
+  /// `value()` sums the shards mod 2^64, so adding the two's complement
+  /// of `n` cancels an earlier `add(n)` exactly even when an individual
+  /// shard wraps below zero.
+  void sub(std::uint64_t n) noexcept { add(~n + 1); }
+
   [[nodiscard]] std::uint64_t value() const noexcept {
     std::uint64_t total = 0;
     for (const auto& shard : shards_)
@@ -114,10 +120,10 @@ struct HistogramSnapshot {
   /// Sparse non-zero buckets as (bucket index, count), ascending index.
   std::vector<std::pair<std::uint32_t, std::uint64_t>> buckets;
 
-  /// Estimated value at quantile `p` in [0, 1]: the midpoint of the bucket
-  /// holding the p-th sample, so the estimate is within 12.5% of the true
-  /// sample for log buckets (exact below 16). Returns 0 on an empty
-  /// histogram.
+  /// Estimated value at quantile `p` in [0, 1]: exact for samples in the
+  /// width-1 buckets below 16, the midpoint of the bucket holding the p-th
+  /// sample otherwise (within 12.5% of the true sample for log buckets).
+  /// Returns 0 on an empty histogram.
   [[nodiscard]] double percentile(double p) const;
   [[nodiscard]] double mean() const {
     return count == 0 ? 0.0

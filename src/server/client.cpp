@@ -75,6 +75,39 @@ AuditReply Client::audit(const AuditRequest& request) {
   return reply;
 }
 
+AuditReply Client::audit_stream(
+    const AuditRequest& request,
+    const std::function<void(const AuditPartial&)>& on_partial) {
+  const std::vector<std::uint8_t> payload =
+      encode_audit_stream_request(request);
+  write_frame(fd_, payload);
+  // The response is a sequence of kOk frames: zero or more AUDP checkpoint
+  // bodies, terminated by the AUDS reply (or a single error frame).
+  for (;;) {
+    std::vector<std::uint8_t> raw;
+    const FrameResult result = read_frame(fd_, kDefaultMaxFrame * 4, raw);
+    if (result == FrameResult::kClosed) {
+      throw std::runtime_error("polaris client: server closed the connection");
+    }
+    if (result != FrameResult::kFrame) {
+      throw std::runtime_error("polaris client: malformed response frame");
+    }
+    Response response = decode_response(std::move(raw));
+    if (response.status != Status::kOk) {
+      throw ServerError(response.status,
+                        response.message.empty() ? to_string(response.status)
+                                                 : response.message);
+    }
+    if (is_audit_partial(response.body)) {
+      if (on_partial) on_partial(decode_audit_partial(response.body));
+      continue;
+    }
+    AuditReply reply = decode_audit_reply(response.body);
+    reply.cache_hit = response.cache_hit;
+    return reply;
+  }
+}
+
 MaskReply Client::mask(const MaskRequest& request) {
   const Response response = roundtrip(encode_mask_request(request));
   MaskReply reply = decode_mask_reply(response.body);

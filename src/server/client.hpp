@@ -25,6 +25,13 @@ class Client {
   /// Registry snapshot + runtime identity of the daemon process.
   [[nodiscard]] StatsReply stats();
   [[nodiscard]] AuditReply audit(const AuditRequest& request);
+  /// Streaming audit: sends kAuditStream and consumes kOk frames until the
+  /// final AUDS reply, invoking `on_partial` (may be empty) per AUDP
+  /// checkpoint frame. The returned reply is byte-identical to audit() for
+  /// the same request; a cache hit on the server delivers zero partials.
+  [[nodiscard]] AuditReply audit_stream(
+      const AuditRequest& request,
+      const std::function<void(const AuditPartial&)>& on_partial);
   [[nodiscard]] MaskReply mask(const MaskRequest& request);
   [[nodiscard]] ScoreReply score(const ScoreRequest& request);
   /// Asks the daemon to drain and exit. The acknowledgement arrives before

@@ -145,14 +145,26 @@ std::vector<std::uint8_t> encode_stats_request() {
   return finish_request(out);
 }
 
-std::vector<std::uint8_t> encode_audit_request(const AuditRequest& request) {
-  auto out = request_header(RequestKind::kAudit);
+namespace {
+std::vector<std::uint8_t> encode_audit_request_as(RequestKind kind,
+                                                  const AuditRequest& request) {
+  auto out = request_header(kind);
   out.begin_chunk("AUDQ");
   out.str(request.design);
   out.f64(request.scale);
   core::write_config(out, request.config);
   out.end_chunk();
   return finish_request(out);
+}
+}  // namespace
+
+std::vector<std::uint8_t> encode_audit_request(const AuditRequest& request) {
+  return encode_audit_request_as(RequestKind::kAudit, request);
+}
+
+std::vector<std::uint8_t> encode_audit_stream_request(
+    const AuditRequest& request) {
+  return encode_audit_request_as(RequestKind::kAuditStream, request);
 }
 
 std::vector<std::uint8_t> encode_mask_request(const MaskRequest& request) {
@@ -181,7 +193,7 @@ RequestKind decode_request_kind(serialize::Reader& in) {
   in.enter_chunk("POLQ");
   const std::uint8_t kind = in.u8();
   in.exit_chunk();
-  if (kind > static_cast<std::uint8_t>(RequestKind::kStats)) {
+  if (kind > static_cast<std::uint8_t>(RequestKind::kAuditStream)) {
     throw std::runtime_error("polaris serve: unknown request kind " +
                              std::to_string(kind));
   }
@@ -266,6 +278,13 @@ std::vector<std::uint8_t> encode_audit_reply(const AuditReply& reply) {
   out.u64(reply.gate_count);
   out.u64(reply.traces);
   write_report(out, reply.report);
+  // Early-stop outcome, appended at end-of-chunk: pre-budget readers skip
+  // it via the chunk length, and pre-budget writers simply omit it. Only
+  // written when populated, so fixed-budget replies stay byte-identical.
+  if (reply.traces_used != 0 || reply.early_stopped) {
+    out.u64(reply.traces_used);
+    out.boolean(reply.early_stopped);
+  }
   out.end_chunk();
   return out.finish();
 }
@@ -278,8 +297,40 @@ AuditReply decode_audit_reply(std::span<const std::uint8_t> body) {
   reply.gate_count = in.u64();
   reply.traces = in.u64();
   reply.report = read_report(in);
+  if (in.remaining() > 0) {  // fixed-budget / pre-budget bodies end here
+    reply.traces_used = in.u64();
+    reply.early_stopped = in.boolean();
+    reply.report.set_trace_usage(reply.traces_used, reply.early_stopped);
+  }
   in.exit_chunk();
   return reply;
+}
+
+std::vector<std::uint8_t> encode_audit_partial(const AuditPartial& partial) {
+  serialize::Writer out;
+  out.begin_chunk("AUDP");
+  out.u64(partial.traces_done);
+  out.u64(partial.traces_total);
+  write_report(out, partial.report);
+  out.end_chunk();
+  return out.finish();
+}
+
+AuditPartial decode_audit_partial(std::span<const std::uint8_t> body) {
+  serialize::Reader in(std::vector<std::uint8_t>(body.begin(), body.end()));
+  in.enter_chunk("AUDP");
+  AuditPartial partial;
+  partial.traces_done = in.u64();
+  partial.traces_total = in.u64();
+  partial.report = read_report(in);
+  partial.report.set_trace_usage(partial.traces_done, false);
+  in.exit_chunk();
+  return partial;
+}
+
+bool is_audit_partial(std::span<const std::uint8_t> body) {
+  serialize::Reader in(std::vector<std::uint8_t>(body.begin(), body.end()));
+  return in.peek_tag() == "AUDP";
 }
 
 std::vector<std::uint8_t> encode_mask_reply(const MaskReply& reply) {

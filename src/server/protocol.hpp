@@ -59,6 +59,10 @@ enum class RequestKind : std::uint8_t {
   kStats = 5,  // registry snapshot; unknown to pre-obs servers, which
                // answer kBadPayload and keep the connection open - no
                // protocol version bump needed
+  kAuditStream = 6,  // audit with per-checkpoint partial frames (budget-
+                     // enabled configs); same AUDQ payload and cache key
+                     // as kAudit. Unknown to older servers: kBadPayload,
+                     // connection stays open, no version bump.
 };
 
 /// On-the-wire status codes (append-only, like every on-disk enum).
@@ -146,6 +150,21 @@ struct AuditReply {
   std::uint64_t traces = 0;
   tvla::LeakageReport report{{}, {}, 0.0};
   bool cache_hit = false;
+  // Early-stop outcome (appended fields; zero/false from pre-budget
+  // servers or fixed-budget runs).
+  std::uint64_t traces_used = 0;
+  bool early_stopped = false;
+};
+
+/// One streaming checkpoint frame: the partial report computed from the
+/// traces collected so far. A kAuditStream response is a sequence of kOk
+/// frames whose BODY is an "AUDP" archive (one per checkpoint, possibly
+/// zero), terminated by a normal "AUDS" body - byte-identical to (and
+/// cached as) the non-streaming reply.
+struct AuditPartial {
+  std::uint64_t traces_done = 0;
+  std::uint64_t traces_total = 0;
+  tvla::LeakageReport report{{}, {}, 0.0};
 };
 
 struct MaskReply {
@@ -174,6 +193,9 @@ struct ScoreReply {
 [[nodiscard]] std::vector<std::uint8_t> encode_shutdown_request();
 [[nodiscard]] std::vector<std::uint8_t> encode_stats_request();
 [[nodiscard]] std::vector<std::uint8_t> encode_audit_request(const AuditRequest& request);
+/// Same AUDQ payload as encode_audit_request under kind kAuditStream.
+[[nodiscard]] std::vector<std::uint8_t> encode_audit_stream_request(
+    const AuditRequest& request);
 [[nodiscard]] std::vector<std::uint8_t> encode_mask_request(const MaskRequest& request);
 [[nodiscard]] std::vector<std::uint8_t> encode_score_request(const ScoreRequest& request);
 
@@ -188,6 +210,15 @@ struct ScoreReply {
 [[nodiscard]] std::vector<std::uint8_t> encode_mask_reply(const MaskReply& reply);
 [[nodiscard]] std::vector<std::uint8_t> encode_score_reply(const ScoreReply& reply);
 [[nodiscard]] std::vector<std::uint8_t> encode_stats_reply(const StatsReply& reply);
+
+/// Partial-checkpoint bodies for the streaming audit. is_audit_partial
+/// peeks the body's leading chunk tag so a streaming client can tell an
+/// AUDP checkpoint from the final AUDS reply without trial decoding.
+[[nodiscard]] std::vector<std::uint8_t> encode_audit_partial(
+    const AuditPartial& partial);
+[[nodiscard]] AuditPartial decode_audit_partial(
+    std::span<const std::uint8_t> body);
+[[nodiscard]] bool is_audit_partial(std::span<const std::uint8_t> body);
 
 [[nodiscard]] PingReply decode_ping_reply(std::span<const std::uint8_t> body);
 [[nodiscard]] AuditReply decode_audit_reply(std::span<const std::uint8_t> body);

@@ -63,6 +63,7 @@ obs::Histogram& request_histogram(RequestKind kind) {
   static auto& score = registry.histogram("server.score_us");
   static auto& shutdown = registry.histogram("server.shutdown_us");
   static auto& stats = registry.histogram("server.stats_us");
+  static auto& audit_stream = registry.histogram("server.audit_stream_us");
   switch (kind) {
     case RequestKind::kPing: return ping;
     case RequestKind::kAudit: return audit;
@@ -70,6 +71,7 @@ obs::Histogram& request_histogram(RequestKind kind) {
     case RequestKind::kScore: return score;
     case RequestKind::kShutdown: return shutdown;
     case RequestKind::kStats: return stats;
+    case RequestKind::kAuditStream: return audit_stream;
   }
   return ping;  // unreachable: decode_request_kind rejects unknown kinds
 }
@@ -82,6 +84,7 @@ const char* request_name(RequestKind kind) {
     case RequestKind::kScore: return "score";
     case RequestKind::kShutdown: return "shutdown";
     case RequestKind::kStats: return "stats";
+    case RequestKind::kAuditStream: return "audit_stream";
   }
   return "?";
 }
@@ -178,6 +181,7 @@ ServerStats Server::stats() const {
   stats.cache_hits = cache_.hits();
   stats.cache_misses = cache_.misses();
   stats.cache_entries = cache_.size();
+  stats.cache_bytes = cache_.bytes();
   stats.connections = connections_accepted_.load();
   return stats;
 }
@@ -339,6 +343,9 @@ bool Server::handle_payload(int fd, std::vector<std::uint8_t>& payload) {
     switch (kind) {
       case RequestKind::kPing: body = serve_ping(); break;
       case RequestKind::kAudit: body = serve_audit(in, cache_hit); break;
+      case RequestKind::kAuditStream:
+        body = serve_audit_stream(fd, in, cache_hit);
+        break;
       case RequestKind::kMask: body = serve_mask(in, cache_hit); break;
       case RequestKind::kScore: body = serve_score(in, cache_hit); break;
       case RequestKind::kStats: body = serve_stats(); break;
@@ -410,6 +417,44 @@ core::ResultCache::Body Server::serve_stats() {
 core::ResultCache::Body Server::serve_audit(serialize::Reader& in,
                                             bool& cache_hit) {
   const AuditRequest request = decode_audit_request(in);
+  return audit_body(request, cache_hit, {});
+}
+
+core::ResultCache::Body Server::serve_audit_stream(int fd,
+                                                   serialize::Reader& in,
+                                                   bool& cache_hit) {
+  const AuditRequest request = decode_audit_request(in);
+  static auto& partials_out =
+      obs::Registry::global().counter("server.audit_partials_out");
+  // Partials are best-effort: a send failure must not fail the campaign
+  // (the final reply still lands in the cache for the next caller), so the
+  // first failed write just stops further partials.
+  auto failed = std::make_shared<std::atomic<bool>>(false);
+  const std::uint64_t traces_total = request.config.tvla.traces;
+  tvla::ProgressFn progress =
+      [this, fd, failed, traces_total](const tvla::LeakageReport& partial,
+                                       std::size_t traces_done) {
+        if (failed->load()) return;
+        AuditPartial frame;
+        frame.traces_done = traces_done;
+        frame.traces_total = traces_total;
+        frame.report = partial;
+        try {
+          write_frame(fd,
+                      encode_response(Status::kOk, "", /*cache_hit=*/false,
+                                      encode_audit_partial(frame)),
+                      [this] { return stopping_.load(); });
+          partials_out.add();
+        } catch (const std::exception&) {
+          failed->store(true);
+        }
+      };
+  return audit_body(request, cache_hit, std::move(progress));
+}
+
+core::ResultCache::Body Server::audit_body(const AuditRequest& request,
+                                           bool& cache_hit,
+                                           tvla::ProgressFn progress) {
   circuits::Design design;
   try {
     core::validate(request.config);
@@ -417,6 +462,9 @@ core::ResultCache::Body Server::serve_audit(serialize::Reader& in,
   } catch (const std::exception& error) {
     throw ServerError(Status::kBadRequest, error.what());
   }
+  // Streaming and non-streaming audits share one cache key (the compute
+  // and the reply bytes are identical); a streamed request that hits the
+  // cache replays the final body and emits zero partial frames.
   const std::uint64_t key = combine_all(
       core::config_fingerprint(request.config),
       {core::design_fingerprint(design),
@@ -427,13 +475,15 @@ core::ResultCache::Body Server::serve_audit(serialize::Reader& in,
   }
   try {
     auto pending = core::submit_audits(scheduler_, {&design, 1}, lib_,
-                                       request.config);
+                                       request.config, std::move(progress));
     scheduler_.drain();
     AuditReply reply;
     reply.design_name = design.name;
     reply.gate_count = design.netlist.gate_count();
     reply.traces = request.config.tvla.traces;
     reply.report = pending[0].get();
+    reply.traces_used = reply.report.traces_used();
+    reply.early_stopped = reply.report.early_stopped();
     auto body = std::make_shared<const std::vector<std::uint8_t>>(
         encode_audit_reply(reply));
     cache_.put(key, body);

@@ -44,6 +44,7 @@ struct ServerStats {
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   std::uint64_t cache_entries = 0;
+  std::uint64_t cache_bytes = 0;  // resident reply-body bytes in the cache
   std::uint64_t connections = 0;  // accepted over the lifetime
 };
 
@@ -101,6 +102,18 @@ class Server {
   /// execution telemetry and changes between any two calls.
   core::ResultCache::Body serve_stats();
   core::ResultCache::Body serve_audit(serialize::Reader& in, bool& cache_hit);
+  /// Streaming audit: identical compute and cache key to serve_audit, but
+  /// while the campaign runs it pushes one kOk frame per early-stop
+  /// checkpoint (AUDP body) onto `fd`. The returned body is the final AUDS
+  /// reply - byte-identical to the non-streaming one, so both kinds share
+  /// cache entries (a cache hit streams zero partials).
+  core::ResultCache::Body serve_audit_stream(int fd, serialize::Reader& in,
+                                             bool& cache_hit);
+  /// Shared audit implementation behind both kinds: validate, cache
+  /// lookup, submit + drain, encode, cache fill.
+  core::ResultCache::Body audit_body(const AuditRequest& request,
+                                     bool& cache_hit,
+                                     tvla::ProgressFn progress);
   core::ResultCache::Body serve_mask(serialize::Reader& in, bool& cache_hit);
   core::ResultCache::Body serve_score(serialize::Reader& in, bool& cache_hit);
 

@@ -154,6 +154,10 @@ class Campaign {
       throw std::invalid_argument("TvlaConfig.lane_words must be 1, 2, 4, or 8");
     }
     sequential_ = design_has_dff();
+    if (config.budget.enabled && config.budget.min_traces == 0) {
+      throw std::invalid_argument(
+          "TvlaBudget.min_traces must be positive when enabled");
+    }
     // Sequential campaigns stay at one word per pass: a K-batch lockstep
     // would push samples cycle-major across batches instead of the
     // batch-major order the moment accumulators saw pre-blocking, breaking
@@ -164,6 +168,7 @@ class Campaign {
                               : (config.lane_words != 0
                                      ? config.lane_words
                                      : sim::default_lane_words());
+    if (config_.budget.enabled) build_checkpoint_schedule();
 
     // Telemetry only (never serialized, never fingerprinted): campaign
     // count/trace budget counters, and an async trace span that follows
@@ -189,15 +194,18 @@ class Campaign {
     }
   }
 
-  /// Trace budget in whole 64-lane batches (sequential designs pack
+  /// Traces one batch contributes (sequential designs pack
   /// 64 * cycles_per_batch samples per batch).
+  [[nodiscard]] std::size_t samples_per_batch() const {
+    return sequential_ ? sim::kLanes * config_.cycles_per_batch : sim::kLanes;
+  }
+
+  /// Trace budget in whole 64-lane batches.
   [[nodiscard]] std::size_t batch_count() const {
-    const std::size_t lanes = sim::kLanes;
-    const std::size_t samples_per_batch =
-        sequential_ ? lanes * config_.cycles_per_batch : lanes;
+    const std::size_t per_batch = samples_per_batch();
     return config_.traces == 0
                ? 0
-               : (config_.traces + samples_per_batch - 1) / samples_per_batch;
+               : (config_.traces + per_batch - 1) / per_batch;
   }
 
   /// Scheduler priority: a proxy for the campaign's simulation cost, so the
@@ -207,36 +215,56 @@ class Campaign {
     return batch_count() * cycles * std::max<std::size_t>(1, design_.gate_count());
   }
 
-  LeakageReport run() {
-    const engine::TraceEngine eng(config_.threads);
-    ShardState merged = eng.run_blocks<ShardState>(
-        batch_count(), lane_words_,
-        [this](std::size_t) { return make_shard_state(); },
-        [this](ShardState& state, std::size_t batch_begin, std::size_t words) {
-          run_block(state, batch_begin, words);
-        },
-        [](ShardState& into, ShardState&& from) {
-          into.moments.merge(from.moments);
-        });
-    return finalize(merged.moments);
+  /// Synchronous entry point. Budget-disabled campaigns take the
+  /// pre-existing TraceEngine path unchanged (byte-identical results);
+  /// budget-enabled ones route through a private Scheduler so the
+  /// checkpointed submit/drain seam is the ONLY early-stop implementation.
+  static LeakageReport run(std::shared_ptr<Campaign> self) {
+    if (!self->config_.budget.enabled) return self->run_sync();
+    engine::Scheduler scheduler(self->config_.threads);
+    auto future = submit(std::move(self), scheduler);
+    scheduler.drain();
+    return future.get();
   }
+
+  /// Installs the per-checkpoint observer (streaming audits). Must be set
+  /// before submit()/run().
+  void set_progress(ProgressFn progress) { progress_ = std::move(progress); }
 
   /// Queues this campaign on the global scheduler. `self` keeps the
   /// campaign (and its power model / group layout) alive inside the shard
   /// closures until the last shard finalized the report.
   static std::future<LeakageReport> submit(std::shared_ptr<Campaign> self,
                                            engine::Scheduler& scheduler) {
-    return scheduler.submit_blocks<ShardState>(
-        self->batch_count(), self->lane_words_,
-        [self](std::size_t) { return self->make_shard_state(); },
-        [self](ShardState& state, std::size_t batch_begin, std::size_t words) {
-          self->run_block(state, batch_begin, words);
-        },
-        [](ShardState& into, ShardState&& from) {
-          into.moments.merge(from.moments);
-        },
-        [self](ShardState&& total) { return self->finalize(total.moments); },
-        self->cost_weight());
+    auto make = [self](std::size_t) { return self->make_shard_state(); };
+    auto run_blk = [self](ShardState& state, std::size_t batch_begin,
+                          std::size_t words) {
+      self->run_block(state, batch_begin, words);
+    };
+    auto merge = [](ShardState& into, ShardState&& from) {
+      into.moments.merge(from.moments);
+    };
+    auto fin = [self](ShardState&& total) {
+      return self->finalize(total.moments);
+    };
+    if (!self->config_.budget.enabled) {
+      return scheduler.submit_blocks<ShardState>(
+          self->batch_count(), self->lane_words_, std::move(make),
+          std::move(run_blk), std::move(merge), std::move(fin),
+          self->cost_weight());
+    }
+    // Budget-enabled campaigns use the checkpointed seam even when the
+    // milestone list is empty (floor >= budget): the incremental ascending
+    // merge runs the same float op sequence, and finalize() still records
+    // trace usage.
+    auto checkpoint = [self](const ShardState& merged,
+                             std::size_t shards_merged) {
+      return self->evaluate_checkpoint(merged.moments, shards_merged);
+    };
+    return scheduler.submit_checkpointed<ShardState>(
+        self->batch_count(), self->lane_words_, std::move(make),
+        std::move(run_blk), std::move(merge), std::move(fin),
+        self->checkpoint_shards_, std::move(checkpoint), self->cost_weight());
   }
 
  private:
@@ -251,6 +279,96 @@ class Campaign {
     CampaignMoments moments;
     std::vector<double> lane_sums;
   };
+
+  /// The fixed-budget TraceEngine path, untouched by the budget feature.
+  LeakageReport run_sync() {
+    const engine::TraceEngine eng(config_.threads);
+    ShardState merged = eng.run_blocks<ShardState>(
+        batch_count(), lane_words_,
+        [this](std::size_t) { return make_shard_state(); },
+        [this](ShardState& state, std::size_t batch_begin, std::size_t words) {
+          run_block(state, batch_begin, words);
+        },
+        [](ShardState& into, ShardState&& from) {
+          into.moments.merge(from.moments);
+        });
+    return finalize(merged.moments);
+  }
+
+  /// Fixed trace milestones (min_traces, 2x, 4x, ... strictly below the
+  /// full budget), each rounded UP to the next shard boundary of the same
+  /// ShardPlan the execution uses - a pure function of the batch count and
+  /// the budget floor, so the schedule (and with it every stop decision)
+  /// is independent of threads and lane_words.
+  void build_checkpoint_schedule() {
+    const engine::ShardPlan plan = engine::ShardPlan::make(batch_count());
+    if (plan.shard_count <= 1) return;
+    const std::size_t per_batch = samples_per_batch();
+    const std::size_t total = plan.total_batches * per_batch;
+    std::size_t target = config_.budget.min_traces;
+    for (std::size_t s = 1; s < plan.shard_count && target < total; ++s) {
+      const std::size_t covered = plan.end(s - 1) * per_batch;
+      if (covered < target) continue;
+      checkpoint_shards_.push_back(s);
+      // Advance to the smallest power-of-two multiple of the floor that
+      // this prefix does NOT already cover.
+      while (target <= covered && target < total) {
+        target = target > total / 2 ? total : target * 2;
+      }
+    }
+  }
+
+  /// The two-sided decision rule, evaluated on the merged shard prefix at
+  /// one milestone (see TvlaBudget). Returns true to stop the campaign.
+  bool evaluate_checkpoint(const CampaignMoments& moments,
+                           std::size_t shards_merged) {
+    static auto& checkpoint_us =
+        obs::Registry::global().histogram("tvla.checkpoint_us");
+    obs::Span span("checkpoint", "tvla");
+    const std::int64_t t0 = obs::now_ns();
+    const engine::ShardPlan plan = engine::ShardPlan::make(batch_count());
+    const std::size_t traces_done =
+        plan.end(shards_merged - 1) * samples_per_batch();
+    const std::size_t total = plan.total_batches * samples_per_batch();
+    std::vector<double> t;
+    std::vector<bool> measured;
+    compute_t(moments, t, measured);
+    const double projection =
+        std::sqrt(static_cast<double>(total) / static_cast<double>(traces_done));
+    const double margin = config_.budget.margin;
+    // Asymmetric campaign verdict (see TvlaBudget): one confidently leaky
+    // group fails the design outright, while a clean verdict must rule out
+    // every measured group.
+    bool any_leaky = false;
+    bool all_clean = true;
+    for (GateId grp = 0; grp < t.size(); ++grp) {
+      if (!measured[grp]) continue;
+      const double abs_t = std::abs(t[grp]);
+      if (abs_t > config_.threshold + margin) {
+        any_leaky = true;
+        break;
+      }
+      if (!(abs_t * projection < config_.threshold - margin)) {
+        all_clean = false;
+      }
+    }
+    const bool all_decided = any_leaky || all_clean;
+    if (progress_) {
+      LeakageReport partial(std::move(t), std::move(measured),
+                            config_.threshold);
+      partial.set_trace_usage(traces_done, false);
+      progress_(partial, traces_done);
+    }
+    if (all_decided) {
+      stopped_ = true;
+      traces_used_ = traces_done;
+    }
+    span.arg("traces", static_cast<std::uint64_t>(traces_done))
+        .arg("stop", static_cast<std::uint64_t>(all_decided ? 1 : 0));
+    checkpoint_us.record(
+        static_cast<std::uint64_t>((obs::now_ns() - t0) / 1000));
+    return all_decided;
+  }
 
   [[nodiscard]] ShardState make_shard_state() const {
     return ShardState{
@@ -380,10 +498,14 @@ class Campaign {
                  state.moments);
   }
 
-  LeakageReport finalize(const CampaignMoments& moments) {
+  /// Per-group Welch t from (possibly partial) campaign moments - the one
+  /// math path both the final report and every checkpoint evaluate, so a
+  /// stop decision is made on exactly the numbers the report would show.
+  void compute_t(const CampaignMoments& moments, std::vector<double>& t,
+                 std::vector<bool>& measured) const {
     const double noise_var = config_.noise_std_fj * config_.noise_std_fj;
-    std::vector<double> t(plan_.group_count(), 0.0);
-    std::vector<bool> measured = plan_.group_measured();
+    t.assign(plan_.group_count(), 0.0);
+    measured = plan_.group_measured();
     for (GateId grp = 0; grp < plan_.group_count(); ++grp) {
       if (!measured[grp]) continue;
       const std::uint32_t multi = plan_.group_multi_index(grp);
@@ -399,10 +521,29 @@ class Campaign {
                      .t;
       }
     }
+  }
+
+  LeakageReport finalize(const CampaignMoments& moments) {
+    std::vector<double> t;
+    std::vector<bool> measured;
+    compute_t(moments, t, measured);
     if (trace_id_ != 0) {
       obs::Tracer::global().async_end("campaign", "tvla", trace_id_);
     }
-    return LeakageReport(std::move(t), std::move(measured), config_.threshold);
+    LeakageReport report(std::move(t), std::move(measured),
+                         config_.threshold);
+    if (config_.budget.enabled) {
+      // `stopped_`/`traces_used_` were written under the campaign merge
+      // lock; the finisher thread observed the last shard's decrement
+      // under the scheduler mutex, which those writes happen-before.
+      static auto& traces_saved =
+          obs::Registry::global().counter("tvla.traces_saved");
+      const std::size_t full = batch_count() * samples_per_batch();
+      const std::size_t used = stopped_ ? traces_used_ : full;
+      report.set_trace_usage(used, stopped_);
+      traces_saved.add(full - used);
+    }
+    return report;
   }
 
   const netlist::Netlist& design_;
@@ -415,6 +556,14 @@ class Campaign {
   std::size_t lane_words_ = 1;
   std::uint64_t trace_id_ = 0;  // async span id; 0 = tracing was off
   std::vector<bool> fixed_a_, fixed_b_;
+  // Early-stop state (budget-enabled campaigns only). The schedule is
+  // fixed at construction; stopped_/traces_used_ are written by at most
+  // one checkpoint (under the scheduler's campaign merge lock) and read
+  // by finalize() after the last shard's publication.
+  std::vector<std::size_t> checkpoint_shards_;  // ascending prefix counts
+  ProgressFn progress_;
+  bool stopped_ = false;
+  std::size_t traces_used_ = 0;
 };
 
 }  // namespace
@@ -422,59 +571,78 @@ class Campaign {
 LeakageReport run_fixed_vs_random(const netlist::Netlist& design,
                                   const techlib::TechLibrary& lib,
                                   const TvlaConfig& config) {
-  return Campaign(design, lib, config, Mode::kFixedVsRandom).run();
+  return Campaign::run(
+      std::make_shared<Campaign>(design, lib, config, Mode::kFixedVsRandom));
 }
 
 LeakageReport run_fixed_vs_fixed(const netlist::Netlist& design,
                                  const techlib::TechLibrary& lib,
                                  const TvlaConfig& config) {
-  return Campaign(design, lib, config, Mode::kFixedVsFixed).run();
+  return Campaign::run(
+      std::make_shared<Campaign>(design, lib, config, Mode::kFixedVsFixed));
 }
 
 LeakageReport run_fixed_vs_random(sim::CompiledDesignPtr design,
                                   const techlib::TechLibrary& lib,
                                   const TvlaConfig& config) {
-  return Campaign(std::move(design), lib, config, Mode::kFixedVsRandom).run();
+  return Campaign::run(std::make_shared<Campaign>(std::move(design), lib,
+                                                  config,
+                                                  Mode::kFixedVsRandom));
 }
 
 LeakageReport run_fixed_vs_fixed(sim::CompiledDesignPtr design,
                                  const techlib::TechLibrary& lib,
                                  const TvlaConfig& config) {
-  return Campaign(std::move(design), lib, config, Mode::kFixedVsFixed).run();
+  return Campaign::run(std::make_shared<Campaign>(std::move(design), lib,
+                                                  config,
+                                                  Mode::kFixedVsFixed));
 }
+
+namespace {
+std::future<LeakageReport> submit_campaign(std::shared_ptr<Campaign> campaign,
+                                           engine::Scheduler& scheduler,
+                                           ProgressFn progress) {
+  campaign->set_progress(std::move(progress));
+  return Campaign::submit(std::move(campaign), scheduler);
+}
+}  // namespace
 
 std::future<LeakageReport> submit_fixed_vs_random(
     engine::Scheduler& scheduler, const netlist::Netlist& design,
-    const techlib::TechLibrary& lib, const TvlaConfig& config) {
-  return Campaign::submit(
+    const techlib::TechLibrary& lib, const TvlaConfig& config,
+    ProgressFn progress) {
+  return submit_campaign(
       std::make_shared<Campaign>(design, lib, config, Mode::kFixedVsRandom),
-      scheduler);
+      scheduler, std::move(progress));
 }
 
 std::future<LeakageReport> submit_fixed_vs_fixed(
     engine::Scheduler& scheduler, const netlist::Netlist& design,
-    const techlib::TechLibrary& lib, const TvlaConfig& config) {
-  return Campaign::submit(
+    const techlib::TechLibrary& lib, const TvlaConfig& config,
+    ProgressFn progress) {
+  return submit_campaign(
       std::make_shared<Campaign>(design, lib, config, Mode::kFixedVsFixed),
-      scheduler);
+      scheduler, std::move(progress));
 }
 
 std::future<LeakageReport> submit_fixed_vs_random(
     engine::Scheduler& scheduler, sim::CompiledDesignPtr design,
-    const techlib::TechLibrary& lib, const TvlaConfig& config) {
-  return Campaign::submit(std::make_shared<Campaign>(std::move(design), lib,
-                                                     config,
-                                                     Mode::kFixedVsRandom),
-                          scheduler);
+    const techlib::TechLibrary& lib, const TvlaConfig& config,
+    ProgressFn progress) {
+  return submit_campaign(std::make_shared<Campaign>(std::move(design), lib,
+                                                    config,
+                                                    Mode::kFixedVsRandom),
+                         scheduler, std::move(progress));
 }
 
 std::future<LeakageReport> submit_fixed_vs_fixed(
     engine::Scheduler& scheduler, sim::CompiledDesignPtr design,
-    const techlib::TechLibrary& lib, const TvlaConfig& config) {
-  return Campaign::submit(std::make_shared<Campaign>(std::move(design), lib,
-                                                     config,
-                                                     Mode::kFixedVsFixed),
-                          scheduler);
+    const techlib::TechLibrary& lib, const TvlaConfig& config,
+    ProgressFn progress) {
+  return submit_campaign(std::make_shared<Campaign>(std::move(design), lib,
+                                                    config,
+                                                    Mode::kFixedVsFixed),
+                         scheduler, std::move(progress));
 }
 
 }  // namespace polaris::tvla

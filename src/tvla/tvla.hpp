@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <optional>
 #include <vector>
@@ -46,6 +47,41 @@ enum class InputClass : std::uint8_t {
   kSensitive,     // fixed in the fixed class, random in the random class
   kFixedCommon,   // same fixed value in BOTH classes (e.g. the key)
   kRandomCommon,  // fresh random in both classes (e.g. a nonce)
+};
+
+/// Early-stopping ("adaptive") trace budget for a campaign. Disabled by
+/// default, and the disabled path is byte-identical to a build without the
+/// feature: serialization and config fingerprints only change when
+/// `enabled` is set.
+///
+/// When enabled, the campaign evaluates its merged moments at a
+/// deterministic checkpoint schedule: trace milestones at min_traces,
+/// 2*min_traces, 4*min_traces, ... (strictly below the full budget), each
+/// rounded up to the next shard boundary of the campaign's ShardPlan - a
+/// pure function of the batch count, never of `threads` or `lane_words`,
+/// so stop decisions and reported t-stats are bit-reproducible across
+/// every execution configuration (see DESIGN.md).
+struct TvlaBudget {
+  bool enabled = false;
+  /// First checkpoint milestone, in traces. Must be positive when enabled;
+  /// a floor at or above `traces` simply disables checkpoints (the full
+  /// budget runs).
+  std::size_t min_traces = 1024;
+  /// Two-sided decision margin around the |t| threshold: a group is
+  /// decided LEAKY when |t| > threshold + margin, decided CLEAN when its
+  /// projection to the full budget stays below it,
+  /// |t| * sqrt(total_traces / traces_so_far) < threshold - margin
+  /// (Welch t grows like sqrt(n) for a true effect, so the projection is
+  /// what the decided-clean group could at most reach).
+  ///
+  /// The campaign-level verdict composes the per-group rule asymmetrically,
+  /// matching TVLA practice: it stops LEAKY at the first checkpoint where
+  /// ANY measured group is confidently leaky (one decided excursion fails
+  /// the design - later traces cannot un-fail it), but stops CLEAN only
+  /// when EVERY measured group is confidently clean (a clean bill of
+  /// health must cover all groups, so clean-looking designs keep their
+  /// full budget unless the projection rules every group out).
+  double margin = 0.5;
 };
 
 struct TvlaConfig {
@@ -84,6 +120,8 @@ struct TvlaConfig {
   std::vector<bool> fixed_input;
   /// Second fixed vector for fixed-vs-fixed. Empty = derived from seed.
   std::vector<bool> fixed_input_b;
+  /// Early-stopping trace budget (off by default; see TvlaBudget).
+  TvlaBudget budget;
 };
 
 class LeakageReport {
@@ -115,11 +153,35 @@ class LeakageReport {
 
   [[nodiscard]] double threshold() const { return threshold_; }
 
+  /// Traces the campaign actually consumed producing this report. Only
+  /// populated on budget-enabled campaigns (0 otherwise - the fixed path
+  /// spends exactly the configured budget, and stays byte-identical).
+  [[nodiscard]] std::size_t traces_used() const { return traces_used_; }
+  /// True when an early-stop checkpoint decided the campaign before the
+  /// full budget ran.
+  [[nodiscard]] bool early_stopped() const { return early_stopped_; }
+  void set_trace_usage(std::size_t traces_used, bool early_stopped) {
+    traces_used_ = traces_used;
+    early_stopped_ = early_stopped;
+  }
+
  private:
   std::vector<double> t_per_group_;
   std::vector<bool> measured_;
   double threshold_;
+  std::size_t traces_used_ = 0;
+  bool early_stopped_ = false;
 };
+
+/// Checkpoint observer for budget-enabled campaigns (streaming audits):
+/// called once per checkpoint in milestone order with the partial report
+/// computed from the merged shard prefix and the traces it covers. Runs
+/// under the campaign's merge lock on whichever drain thread crossed the
+/// milestone - never concurrently with itself for one campaign. An
+/// exception thrown from the observer fails the campaign (the future
+/// rethrows it). Ignored when the budget is disabled.
+using ProgressFn =
+    std::function<void(const LeakageReport& partial, std::size_t traces_done)>;
 
 /// Fixed-vs-random campaign (the protocol used for all paper tables).
 /// Compiles the design once (sim::compile) and shares the plan across all
@@ -155,11 +217,13 @@ class LeakageReport {
 /// (e.g. a fixed-vector size mismatch) throw from the submit call itself.
 [[nodiscard]] std::future<LeakageReport> submit_fixed_vs_random(
     engine::Scheduler& scheduler, const netlist::Netlist& design,
-    const techlib::TechLibrary& lib, const TvlaConfig& config);
+    const techlib::TechLibrary& lib, const TvlaConfig& config,
+    ProgressFn progress = {});
 
 [[nodiscard]] std::future<LeakageReport> submit_fixed_vs_fixed(
     engine::Scheduler& scheduler, const netlist::Netlist& design,
-    const techlib::TechLibrary& lib, const TvlaConfig& config);
+    const techlib::TechLibrary& lib, const TvlaConfig& config,
+    ProgressFn progress = {});
 
 /// Pre-compiled-plan variants of the async entry points (see the
 /// run_fixed_vs_random CompiledDesignPtr overload): the caller's plan is
@@ -167,10 +231,12 @@ class LeakageReport {
 /// plan's netlist must stay alive until the future is ready.
 [[nodiscard]] std::future<LeakageReport> submit_fixed_vs_random(
     engine::Scheduler& scheduler, sim::CompiledDesignPtr design,
-    const techlib::TechLibrary& lib, const TvlaConfig& config);
+    const techlib::TechLibrary& lib, const TvlaConfig& config,
+    ProgressFn progress = {});
 
 [[nodiscard]] std::future<LeakageReport> submit_fixed_vs_fixed(
     engine::Scheduler& scheduler, sim::CompiledDesignPtr design,
-    const techlib::TechLibrary& lib, const TvlaConfig& config);
+    const techlib::TechLibrary& lib, const TvlaConfig& config,
+    ProgressFn progress = {});
 
 }  // namespace polaris::tvla

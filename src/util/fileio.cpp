@@ -1,5 +1,6 @@
 #include "util/fileio.hpp"
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -8,6 +9,19 @@
 #include <stdexcept>
 
 namespace polaris::util {
+
+namespace {
+/// fsyncs a directory so a rename inside it survives a crash. Returns
+/// false on any failure (opening a directory read-only can legitimately
+/// fail on exotic filesystems; the caller decides whether that is fatal).
+bool sync_directory(const std::filesystem::path& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+}  // namespace
 
 void write_file_atomic(const std::string& path, std::string_view contents) {
   // The temp name carries the pid and a process-wide counter so concurrent
@@ -27,8 +41,12 @@ void write_file_atomic(const std::string& path, std::string_view contents) {
   }
   const std::size_t written =
       contents.empty() ? 0 : std::fwrite(contents.data(), 1, contents.size(), file);
+  // Flush libc's buffer and fsync the temp file BEFORE the rename: without
+  // it a crash after the rename can publish a zero-length file behind the
+  // "atomic" write (the rename is durable before the data is).
+  const bool flushed = std::fflush(file) == 0 && ::fsync(fileno(file)) == 0;
   const int close_result = std::fclose(file);  // unconditionally: no FD leak
-  if (written != contents.size() || close_result != 0) {
+  if (written != contents.size() || !flushed || close_result != 0) {
     std::remove(temp.c_str());
     throw std::runtime_error("write failed: " + temp.string());
   }
@@ -38,6 +56,12 @@ void write_file_atomic(const std::string& path, std::string_view contents) {
     std::remove(temp.c_str());
     throw std::runtime_error("cannot rename " + temp.string() + " over " +
                              path + ": " + error.message());
+  }
+  // And fsync the parent directory AFTER the rename so the new directory
+  // entry itself is on disk. The target is already in place, so there is
+  // no temp file left to unlink on failure - just report it.
+  if (!sync_directory(dir.empty() ? std::filesystem::path(".") : dir)) {
+    throw std::runtime_error("cannot sync directory of " + path);
   }
 }
 

@@ -9,11 +9,13 @@
 
 namespace polaris::util {
 
-/// Writes `contents` to `path` atomically: a uniquely-named temp file in
-/// the SAME directory (rename(2) is only atomic within a filesystem),
-/// flushed and closed, then renamed over the target. On any failure the
-/// temp file is removed and std::runtime_error is thrown; the target is
-/// either untouched or fully replaced, never truncated.
+/// Writes `contents` to `path` atomically AND durably: a uniquely-named
+/// temp file in the SAME directory (rename(2) is only atomic within a
+/// filesystem), flushed, fsync'd and closed, then renamed over the target,
+/// then the parent directory is fsync'd so the rename itself survives a
+/// crash. On any failure before the rename the temp file is removed and
+/// std::runtime_error is thrown; the target is either untouched or fully
+/// replaced, never truncated.
 void write_file_atomic(const std::string& path, std::string_view contents);
 
 }  // namespace polaris::util

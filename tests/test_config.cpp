@@ -172,6 +172,80 @@ TEST(ConfigIo, RoundTripsEveryKnob) {
   EXPECT_EQ(loaded.threads, config.threads);
 }
 
+TEST(ConfigIo, RoundTripsEarlyStopBudget) {
+  core::PolarisConfig config;
+  config.tvla.budget.enabled = true;
+  config.tvla.budget.min_traces = 768;
+  config.tvla.budget.margin = 0.25;
+
+  serialize::Writer out;
+  out.begin_chunk("CONF");
+  core::write_config(out, config);
+  out.end_chunk();
+  serialize::Reader in(out.finish());
+  in.enter_chunk("CONF");
+  const auto loaded = core::read_config(in);
+  in.exit_chunk();
+
+  EXPECT_TRUE(loaded.tvla.budget.enabled);
+  EXPECT_EQ(loaded.tvla.budget.min_traces, 768u);
+  EXPECT_EQ(loaded.tvla.budget.margin, 0.25);
+}
+
+TEST(ConfigIo, DisabledBudgetKeepsTheVersion1ByteLayout) {
+  // A config without early stopping must serialize exactly as before the
+  // budget fields existed - bundles and wire requests stay byte-stable.
+  const auto encode = [](const core::PolarisConfig& config) {
+    serialize::Writer out;
+    out.begin_chunk("CONF");
+    core::write_config(out, config);
+    out.end_chunk();
+    return out.finish();
+  };
+  core::PolarisConfig disabled;
+  core::PolarisConfig enabled;
+  enabled.tvla.budget.enabled = true;
+  const auto disabled_bytes = encode(disabled);
+  const auto enabled_bytes = encode(enabled);
+  EXPECT_LT(disabled_bytes.size(), enabled_bytes.size());
+
+  serialize::Reader in(disabled_bytes);
+  in.enter_chunk("CONF");
+  EXPECT_FALSE(core::read_config(in).tvla.budget.enabled);
+  in.exit_chunk();
+}
+
+TEST(ConfigValidate, BudgetKnobsAreChecked) {
+  core::PolarisConfig config;
+  config.tvla.budget.enabled = true;
+  config.tvla.budget.min_traces = 0;
+  EXPECT_THROW(core::validate(config), std::invalid_argument);
+  config.tvla.budget.min_traces = 256;
+  config.tvla.budget.margin = -0.5;
+  EXPECT_THROW(core::validate(config), std::invalid_argument);
+  config.tvla.budget.margin = 0.5;
+  core::validate(config);
+
+  // Disabled budgets are inert: their knobs are never reached.
+  config.tvla.budget.enabled = false;
+  config.tvla.budget.min_traces = 0;
+  core::validate(config);
+}
+
+TEST(ConfigFingerprint, DisabledBudgetDoesNotChangeIdentity) {
+  core::PolarisConfig a;
+  core::PolarisConfig b;
+  // Knob values behind a disabled budget are unreachable, so they must
+  // not perturb the fingerprint (cache keys, bundle identity).
+  b.tvla.budget.min_traces = 4096;
+  b.tvla.budget.margin = 2.0;
+  EXPECT_EQ(core::config_fingerprint(a), core::config_fingerprint(b));
+
+  // Enabling early stopping changes results, so it must change identity.
+  b.tvla.budget.enabled = true;
+  EXPECT_NE(core::config_fingerprint(a), core::config_fingerprint(b));
+}
+
 TEST(ConfigFingerprint, StableAndThreadInvariant) {
   core::PolarisConfig a;
   core::PolarisConfig b;

@@ -92,6 +92,35 @@ TEST(ObsHistogram, PercentileWithinBucketBound) {
   EXPECT_DOUBLE_EQ(h.mean(), static_cast<double>(kValue));
 }
 
+TEST(ObsHistogram, PercentilesAreExactInTheLinearRange) {
+  // Samples below kLinearBuckets land in width-1 buckets; a percentile
+  // there must return the exact sample value, not the bucket midpoint
+  // (p50 of all-zero latencies is 0, not 0.5).
+  for (const std::uint64_t value :
+       {std::uint64_t{0}, std::uint64_t{3},
+        static_cast<std::uint64_t>(obs::Histogram::kLinearBuckets - 1)}) {
+    obs::Registry registry;
+    auto& histogram = registry.histogram("h");
+    for (int i = 0; i < 50; ++i) histogram.record(value);
+    const auto snapshot = registry.snapshot();
+    const auto& h = snapshot.histograms[0];
+    for (const double p : {0.0, 0.5, 0.99, 1.0}) {
+      EXPECT_DOUBLE_EQ(h.percentile(p), static_cast<double>(value))
+          << "value=" << value << " p=" << p;
+    }
+  }
+}
+
+TEST(ObsCounter, SubTracksGaugeOccupancy) {
+  obs::Registry registry;
+  auto& gauge = registry.counter("cache.bytes");
+  gauge.add(1000);
+  gauge.sub(250);
+  gauge.add(50);
+  gauge.sub(800);
+  EXPECT_EQ(gauge.value(), 0u);
+}
+
 TEST(ObsHistogram, PercentilesAreMonotonic) {
   obs::Registry registry;
   auto& histogram = registry.histogram("h");

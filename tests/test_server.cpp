@@ -21,6 +21,7 @@
 #include "circuits/arith.hpp"
 #include "circuits/suite.hpp"
 #include "core/polaris.hpp"
+#include "core/result_cache.hpp"
 #include "netlist/verilog.hpp"
 #include "obs/obs.hpp"
 #include "server/client.hpp"
@@ -633,6 +634,147 @@ TEST(ServeProtocol, StatsReplyRoundTripsRegistrySnapshot) {
   EXPECT_EQ(hist->count, 3u);
   EXPECT_EQ(hist->sum, 100105u);
   EXPECT_EQ(hist->buckets, reply.snapshot.histograms[0].buckets);
+}
+
+TEST(ResultCache, BytesTrackResidentBodiesAcrossRefreshAndEviction) {
+  core::ResultCache cache(2);
+  const auto body_of = [](std::size_t size) {
+    return std::make_shared<const std::vector<std::uint8_t>>(size, 0xAB);
+  };
+  cache.put(1, body_of(100));
+  EXPECT_EQ(cache.bytes(), 100u);
+
+  // Refresh with a different size replaces, not accumulates.
+  cache.put(1, body_of(60));
+  EXPECT_EQ(cache.bytes(), 60u);
+  EXPECT_EQ(cache.size(), 1u);
+
+  cache.put(2, body_of(40));
+  EXPECT_EQ(cache.bytes(), 100u);
+
+  // Capacity 2: inserting a third evicts the oldest (key 1, 60 bytes).
+  cache.put(3, body_of(7));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.bytes(), 47u);
+  EXPECT_EQ(cache.get(1), nullptr);
+  ASSERT_NE(cache.get(2), nullptr);
+  ASSERT_NE(cache.get(3), nullptr);
+}
+
+TEST(ServeProtocol, AuditReplyRoundTripsEarlyStopFields) {
+  server::AuditReply reply;
+  reply.design_name = "d";
+  reply.traces = 8192;
+  reply.report = tvla::LeakageReport({6.0}, {true}, 4.5);
+  reply.traces_used = 1024;
+  reply.early_stopped = true;
+  const auto back = server::decode_audit_reply(server::encode_audit_reply(reply));
+  EXPECT_EQ(back.traces_used, 1024u);
+  EXPECT_TRUE(back.early_stopped);
+  EXPECT_EQ(back.report.traces_used(), 1024u);
+  EXPECT_TRUE(back.report.early_stopped());
+
+  // Fixed-budget replies (traces_used 0) keep the pre-budget byte layout.
+  server::AuditReply fixed = reply;
+  fixed.traces_used = 0;
+  fixed.early_stopped = false;
+  const auto fixed_bytes = server::encode_audit_reply(fixed);
+  EXPECT_LT(fixed_bytes.size(), server::encode_audit_reply(reply).size());
+  const auto fixed_back = server::decode_audit_reply(fixed_bytes);
+  EXPECT_EQ(fixed_back.traces_used, 0u);
+  EXPECT_FALSE(fixed_back.early_stopped);
+}
+
+TEST(ServeProtocol, AuditPartialRoundTripsAndIsDistinguishable) {
+  server::AuditPartial partial;
+  partial.traces_done = 2048;
+  partial.traces_total = 8192;
+  partial.report = tvla::LeakageReport({3.25, -1.5}, {true, true}, 4.5);
+  const auto body = server::encode_audit_partial(partial);
+  EXPECT_TRUE(server::is_audit_partial(body));
+
+  const auto back = server::decode_audit_partial(body);
+  EXPECT_EQ(back.traces_done, 2048u);
+  EXPECT_EQ(back.traces_total, 8192u);
+  expect_reports_bit_identical(back.report, partial.report);
+
+  // A final AUDS body must NOT look like a checkpoint frame.
+  server::AuditReply reply;
+  reply.report = tvla::LeakageReport({1.0}, {true}, 4.5);
+  EXPECT_FALSE(server::is_audit_partial(server::encode_audit_reply(reply)));
+}
+
+TEST_F(ServerTest, StreamingAuditMatchesNonStreamingByteForByte) {
+  auto config = audit_config();
+  config.tvla.traces = 2048;
+  config.tvla.budget.enabled = true;
+  config.tvla.budget.min_traces = 256;
+
+  auto daemon = make_server(2);
+  server::AuditRequest request;
+  request.design = "des3";
+  request.scale = 0.3;
+  request.config = config;
+
+  std::vector<server::AuditPartial> partials;
+  server::Client streaming(daemon->socket_path());
+  const auto streamed = streaming.audit_stream(
+      request,
+      [&](const server::AuditPartial& partial) { partials.push_back(partial); });
+  EXPECT_FALSE(streamed.cache_hit);
+  for (std::size_t i = 1; i < partials.size(); ++i) {
+    EXPECT_LT(partials[i - 1].traces_done, partials[i].traces_done);
+  }
+  for (const auto& partial : partials) {
+    EXPECT_EQ(partial.traces_total, 2048u);
+    EXPECT_LE(partial.traces_done, 2048u);
+  }
+
+  // The same request through the plain verb: a cache hit (streaming and
+  // non-streaming share one key) and an identical reply.
+  server::Client plain(daemon->socket_path());
+  const auto direct = plain.audit(request);
+  EXPECT_TRUE(direct.cache_hit);
+  EXPECT_EQ(direct.traces_used, streamed.traces_used);
+  EXPECT_EQ(direct.early_stopped, streamed.early_stopped);
+  expect_reports_bit_identical(direct.report, streamed.report);
+
+  // A second streaming request replays the cache: zero partial frames.
+  std::size_t replayed_partials = 0;
+  server::Client cached(daemon->socket_path());
+  const auto replay = cached.audit_stream(
+      request, [&](const server::AuditPartial&) { ++replayed_partials; });
+  EXPECT_TRUE(replay.cache_hit);
+  EXPECT_EQ(replayed_partials, 0u);
+  expect_reports_bit_identical(replay.report, streamed.report);
+
+  daemon->request_stop();
+  daemon->wait();
+}
+
+TEST_F(ServerTest, StreamingAuditMatchesOfflineEarlyStop) {
+  auto config = audit_config();
+  config.tvla.traces = 2048;
+  config.tvla.budget.enabled = true;
+  config.tvla.budget.min_traces = 256;
+  const auto design = circuits::load_design("des3", 0.3);
+  const auto offline = tvla::run_fixed_vs_random(
+      design.netlist, lib(), core::tvla_config_for(config, design));
+
+  auto daemon = make_server(4);
+  server::Client client(daemon->socket_path());
+  server::AuditRequest request;
+  request.design = "des3";
+  request.scale = 0.3;
+  request.config = config;
+  const auto reply =
+      client.audit_stream(request, [](const server::AuditPartial&) {});
+  EXPECT_EQ(reply.traces_used, offline.traces_used());
+  EXPECT_EQ(reply.early_stopped, offline.early_stopped());
+  expect_reports_bit_identical(reply.report, offline);
+
+  daemon->request_stop();
+  daemon->wait();
 }
 
 TEST(ServeProtocol, ErrorResponseCarriesStatusAndMessage) {

@@ -4,7 +4,15 @@
 #include <cmath>
 #include <set>
 
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
 #include "util/csv.hpp"
+#include "util/fileio.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -142,6 +150,44 @@ TEST(Csv, WriteFileFailsOnBadPath) {
   CsvWriter csv({"h"});
   EXPECT_THROW(csv.write_file("/nonexistent_dir_xyz/file.csv"),
                std::runtime_error);
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(Fileio, WriteFileAtomicWritesAndOverwrites) {
+  const std::string path = testing::TempDir() + "/polaris_atomic_test.txt";
+  write_file_atomic(path, "first contents\n");
+  EXPECT_EQ(slurp(path), "first contents\n");
+  // Overwrite: the target is replaced whole, never appended or truncated.
+  write_file_atomic(path, "second");
+  EXPECT_EQ(slurp(path), "second");
+  std::remove(path.c_str());
+}
+
+TEST(Fileio, WriteFileAtomicFailsCleanlyOnBadDirectory) {
+  EXPECT_THROW(write_file_atomic("/nonexistent_dir_xyz/out.txt", "x"),
+               std::runtime_error);
+}
+
+TEST(Fileio, WriteFileAtomicLeavesNoTempFilesBehind) {
+  namespace fs = std::filesystem;
+  const std::string dir = testing::TempDir() + "/polaris_atomic_dir";
+  fs::create_directories(dir);
+  write_file_atomic(dir + "/out.txt", "payload");
+  std::size_t entries = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    (void)entry;
+    ++entries;
+  }
+  // Only the target: the temp file was renamed over it, not left behind.
+  EXPECT_EQ(entries, 1u);
+  EXPECT_EQ(slurp(dir + "/out.txt"), "payload");
+  fs::remove_all(dir);
 }
 
 }  // namespace

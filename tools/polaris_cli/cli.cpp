@@ -151,6 +151,9 @@ std::vector<FlagSpec> config_flag_specs() {
       {"rounds", true, "boosting rounds / forest size (default 300)"},
       {"seed", true, "experiment seed (default 1)"},
       {"threads", true, "worker threads, 0 = all cores (default 0)"},
+      {"budget", true,
+       "early-stop TVLA: min traces before the first checkpoint, 0 = fixed "
+       "budget (default 0)"},
   };
 }
 
@@ -171,6 +174,13 @@ core::PolarisConfig config_from_flags(const ParsedFlags& flags) {
   config.seed = flags.get_u64("seed", config.seed);
   config.threads = flags.get_size("threads", config.threads);
   config.tvla.seed = config.seed;
+  // --budget N enables sequential early stopping with its first checkpoint
+  // at N traces; 0 (the default) keeps the fixed-budget path and its
+  // byte-identical outputs.
+  if (const std::size_t budget = flags.get_size("budget", 0); budget != 0) {
+    config.tvla.budget.enabled = true;
+    config.tvla.budget.min_traces = budget;
+  }
   if (flags.has("model")) {
     try {
       config.model = core::model_kind_from_string(flags.get("model"));

@@ -51,6 +51,14 @@ int cmd_audit(std::span<const char* const> args) {
   const auto reports = core::audit_designs(designs, lib, config);
   const std::size_t top = flags.get_size("top", 10);
 
+  // With --budget the traces column reports what the campaign actually
+  // consumed; the fixed-budget path prints the configured count, exactly
+  // as before.
+  const auto traces_of = [&](const tvla::LeakageReport& report) {
+    return config.tvla.budget.enabled ? report.traces_used()
+                                      : config.tvla.traces;
+  };
+
   if (flags.has("json")) {
     // One object for a single design (the stable CI format); an array when
     // several were audited together.
@@ -59,7 +67,7 @@ int cmd_audit(std::span<const char* const> args) {
       if (i > 0) std::printf(",");
       std::fputs(render_audit_json(designs[i].name,
                                    designs[i].netlist.gate_count(), reports[i],
-                                   config.tvla.traces, top)
+                                   traces_of(reports[i]), top)
                      .c_str(),
                  stdout);
     }
@@ -72,7 +80,7 @@ int cmd_audit(std::span<const char* const> args) {
     if (i > 0) std::printf("\n");
     std::fputs(render_audit_table(designs[i].name,
                                   designs[i].netlist.gate_count(), reports[i],
-                                  config.tvla.traces, top)
+                                  traces_of(reports[i]), top)
                    .c_str(),
                stdout);
   }

@@ -8,6 +8,7 @@
 // Exit codes match the offline commands: 0 success, 1 runtime/server
 // failure, 2 bad usage.
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <exception>
@@ -83,6 +84,7 @@ int client_audit(const ParsedFlags& flags) {
   // designs interleave shard-for-shard exactly like the offline
   // `audit --design a,b,c` path (instead of serializing per round-trip).
   const std::string socket_path = flags.require("socket");
+  const bool stream = flags.has("stream");
   std::vector<server::AuditReply> replies(designs.size());
   std::vector<std::exception_ptr> errors(designs.size());
   {
@@ -95,7 +97,29 @@ int client_audit(const ParsedFlags& flags) {
           request.scale = scale;
           request.config = config;
           server::Client client(socket_path);
-          replies[i] = client.audit(request);
+          if (stream) {
+            // Checkpoint notices go to stderr: stdout stays byte-identical
+            // to the non-streaming verb for the same request.
+            const std::string& design = designs[i];
+            replies[i] = client.audit_stream(
+                request, [&design](const server::AuditPartial& partial) {
+                  double max_t = 0.0;
+                  for (const double t : partial.report.t_values()) {
+                    max_t = std::max(max_t, std::abs(t));
+                  }
+                  std::fprintf(stderr,
+                               "polaris client: %s checkpoint %llu/%llu "
+                               "traces, max |t| %.2f\n",
+                               design.c_str(),
+                               static_cast<unsigned long long>(
+                                   partial.traces_done),
+                               static_cast<unsigned long long>(
+                                   partial.traces_total),
+                               max_t);
+                });
+          } else {
+            replies[i] = client.audit(request);
+          }
         } catch (...) {
           errors[i] = std::current_exception();
         }
@@ -108,13 +132,20 @@ int client_audit(const ParsedFlags& flags) {
   }
   for (const auto& reply : replies) note_cache_hit(reply.cache_hit);
 
+  // Budget-enabled replies carry the traces the campaign actually used;
+  // fixed-budget replies leave traces_used at 0 and print the configured
+  // count, exactly as before.
+  const auto traces_of = [](const server::AuditReply& reply) {
+    return reply.traces_used != 0 ? reply.traces_used : reply.traces;
+  };
+
   if (flags.has("json")) {
     if (replies.size() > 1) std::printf("[");
     for (std::size_t i = 0; i < replies.size(); ++i) {
       if (i > 0) std::printf(",");
       std::fputs(render_audit_json(replies[i].design_name,
                                    replies[i].gate_count, replies[i].report,
-                                   replies[i].traces, top)
+                                   traces_of(replies[i]), top)
                      .c_str(),
                  stdout);
     }
@@ -126,7 +157,7 @@ int client_audit(const ParsedFlags& flags) {
     if (i > 0) std::printf("\n");
     std::fputs(render_audit_table(replies[i].design_name,
                                   replies[i].gate_count, replies[i].report,
-                                  replies[i].traces, top)
+                                  traces_of(replies[i]), top)
                    .c_str(),
                stdout);
   }
@@ -275,6 +306,9 @@ int cmd_client(std::span<const char* const> args) {
     specs.push_back({"top", true, "list the N leakiest gates (default 10)"});
     specs.push_back({"json", false,
                      "emit a JSON object (array when several designs)"});
+    specs.push_back({"stream", false,
+                     "stream early-stop checkpoint frames (notices on "
+                     "stderr; pair with --budget)"});
     specs.push_back(help_spec);
     const ParsedFlags flags(rest, specs);
     if (flags.has("help")) {
