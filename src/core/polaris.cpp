@@ -319,7 +319,7 @@ std::vector<std::future<tvla::LeakageReport>> submit_audits(
   for (const auto& design : designs) {
     pending.push_back(tvla::submit_fixed_vs_random(
         scheduler, design.netlist, lib, tvla_config_for(config, design),
-        progress));
+        progress, design.name));
   }
   return pending;
 }

@@ -15,6 +15,7 @@ void Scheduler::enqueue(std::shared_ptr<CampaignTask> campaign) {
   shards.add(campaign->plan.shard_count);
   const std::lock_guard<std::mutex> lock(mutex_);
   campaign->sequence = next_sequence_++;
+  active_.push_back(campaign);
   for (std::size_t shard = 0; shard < campaign->plan.shard_count; ++shard) {
     queue_.push(QueueEntry{campaign, shard});
   }
@@ -53,6 +54,17 @@ bool Scheduler::run_next() {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     last = --entry.campaign->remaining == 0;
+    if (last) {
+      // Retire from the progress table before finish() runs: a status poll
+      // never reports a campaign whose future is about to be ready with a
+      // stale shard count.
+      for (auto it = active_.begin(); it != active_.end(); ++it) {
+        if (it->get() == entry.campaign.get()) {
+          active_.erase(it);
+          break;
+        }
+      }
+    }
   }
   // The finisher saw the last decrement under the mutex, so every shard's
   // state write happens-before this merge regardless of which threads ran
@@ -91,6 +103,38 @@ void Scheduler::drain() {
 std::size_t Scheduler::pending_shards() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return queue_.size();
+}
+
+std::vector<CampaignProgress> Scheduler::progress() const {
+  const std::int64_t now = obs::now_ns();
+  std::vector<CampaignProgress> table;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  table.reserve(active_.size());
+  for (const auto& campaign : active_) {
+    CampaignProgress row;
+    row.label = campaign->label;
+    row.sequence = campaign->sequence;
+    row.shards_total = campaign->plan.shard_count;
+    row.shards_done = campaign->plan.shard_count - campaign->remaining;
+    row.age_us =
+        static_cast<std::uint64_t>((now - campaign->enqueue_ns) / 1000);
+    row.stopped = campaign->cancelled.load(std::memory_order_relaxed);
+    table.push_back(std::move(row));
+  }
+  // queue_position = rank in the LPT pop order (weight desc, sequence asc)
+  // among the active campaigns - the order their remaining shards drain.
+  std::vector<std::size_t> order(table.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (active_[a]->weight != active_[b]->weight) {
+      return active_[a]->weight > active_[b]->weight;
+    }
+    return active_[a]->sequence < active_[b]->sequence;
+  });
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    table[order[rank]].queue_position = rank;
+  }
+  return table;
 }
 
 }  // namespace polaris::engine

@@ -45,6 +45,22 @@
 
 namespace polaris::engine {
 
+/// One row of Scheduler::progress(): a campaign that has been submitted
+/// but not yet finalized, described entirely from state the scheduler
+/// already tracks under its mutex. Plain data, safe to ship to a client.
+struct CampaignProgress {
+  std::string label;            // submit-time label ("" when none given)
+  std::uint64_t sequence = 0;   // submission order (unique per scheduler)
+  std::size_t shards_done = 0;  // shards retired (executed or skipped)
+  std::size_t shards_total = 0;
+  /// Rank in the LPT pop order among the currently active campaigns
+  /// (0 = drains first). Recomputed per call - it shifts as heavier
+  /// campaigns arrive.
+  std::size_t queue_position = 0;
+  std::uint64_t age_us = 0;  // since submit
+  bool stopped = false;      // an early-stop checkpoint decided it
+};
+
 class Scheduler {
  public:
   /// `threads` caps the drain fan-out: 0 = all hardware threads, 1 = fully
@@ -76,12 +92,13 @@ class Scheduler {
             class Result = std::invoke_result_t<Finalize&, State&&>>
   std::future<Result> submit(std::size_t total_batches, MakeState make,
                              RunBatch run_batch, Merge merge,
-                             Finalize finalize, std::size_t weight = 0) {
+                             Finalize finalize, std::size_t weight = 0,
+                             std::string label = {}) {
     return submit_blocks<State>(
         total_batches, /*block_words=*/1, std::move(make),
         [rb = std::move(run_batch)](State& state, std::size_t batch,
                                     std::size_t) { rb(state, batch); },
-        std::move(merge), std::move(finalize), weight);
+        std::move(merge), std::move(finalize), weight, std::move(label));
   }
 
   /// Blocked variant (see TraceEngine::run_blocks): shards execute their
@@ -96,13 +113,14 @@ class Scheduler {
   std::future<Result> submit_blocks(std::size_t total_batches,
                                     std::size_t block_words, MakeState make,
                                     RunBlock run_block, Merge merge,
-                                    Finalize finalize,
-                                    std::size_t weight = 0) {
+                                    Finalize finalize, std::size_t weight = 0,
+                                    std::string label = {}) {
     return submit_checkpointed<State>(total_batches, block_words,
                                       std::move(make), std::move(run_block),
                                       std::move(merge), std::move(finalize),
                                       /*checkpoints=*/{},
-                                      /*checkpoint=*/nullptr, weight);
+                                      /*checkpoint=*/nullptr, weight,
+                                      std::move(label));
   }
 
   /// Early-stopping variant. `checkpoints` is an ascending list of shard
@@ -130,7 +148,7 @@ class Scheduler {
       RunBlock run_block, Merge merge, Finalize finalize,
       std::vector<std::size_t> checkpoints,
       std::function<bool(const State&, std::size_t)> checkpoint,
-      std::size_t weight = 0) {
+      std::size_t weight = 0, std::string label = {}) {
     auto campaign = std::make_shared<
         TypedCampaign<State, Result, MakeState, RunBlock, Merge, Finalize>>(
         std::move(make), std::move(run_block), std::move(merge),
@@ -138,6 +156,7 @@ class Scheduler {
     campaign->plan = ShardPlan::make(total_batches);
     campaign->block = block_words == 0 ? 1 : block_words;
     campaign->weight = weight == 0 ? total_batches : weight;
+    campaign->label = std::move(label);
     campaign->checkpoint = std::move(checkpoint);
     campaign->checkpoint_shards = std::move(checkpoints);
     campaign->stop_at = campaign->plan.shard_count;
@@ -161,6 +180,13 @@ class Scheduler {
   /// Shards still queued (not yet claimed by drain). Test/bench hook.
   [[nodiscard]] std::size_t pending_shards() const;
 
+  /// Per-campaign progress table of every submitted-but-unfinalized
+  /// campaign, in submission order. Built from state the scheduler already
+  /// tracks under its mutex - no extra bookkeeping on the shard hot path.
+  /// Safe to call from any thread, including from inside a running shard
+  /// (run_shard holds no scheduler lock).
+  [[nodiscard]] std::vector<CampaignProgress> progress() const;
+
  private:
   /// Type-erased campaign control block. `remaining` is guarded by the
   /// scheduler mutex; each shard's state slot is written by exactly one
@@ -181,6 +207,7 @@ class Scheduler {
     std::uint64_t sequence = 0;  // submission order, the priority tie-break
     std::size_t remaining = 0;   // shards not yet executed
     std::int64_t enqueue_ns = 0;  // obs timebase; makespan = finish - this
+    std::string label;            // progress-table identity (may be empty)
     /// Set once when a checkpoint decides the campaign: run_next skips the
     /// shard body for this campaign from then on (the decrement/finish
     /// bookkeeping still runs, so the future still completes). Skipping is
@@ -315,6 +342,11 @@ class Scheduler {
 
   mutable std::mutex mutex_;
   std::priority_queue<QueueEntry, std::vector<QueueEntry>, EntryOrder> queue_;
+  /// Campaigns submitted but not yet finalized, submission order. Entries
+  /// are appended by enqueue and erased by run_next after the last shard's
+  /// decrement - so the progress table empties exactly when every future
+  /// is ready.
+  std::vector<std::shared_ptr<CampaignTask>> active_;
   std::size_t threads_;
   std::uint64_t next_sequence_ = 0;
 };

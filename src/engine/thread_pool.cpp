@@ -107,14 +107,19 @@ void ThreadPool::parallel_for(std::size_t n, std::size_t max_concurrency,
   const auto job = std::make_shared<Job>(n, tickets, fn);
   std::unique_lock<std::mutex> lock(mutex_);
   jobs_.push_back(job);
+  const std::size_t depth = jobs_.size();  // includes the job just pushed
+  work_cv_.notify_all();
+  // Instrumentation never extends the critical section: workers are
+  // already notified, so record the captured depth with the lock dropped.
+  lock.unlock();
   {
     static auto& jobs = obs::Registry::global().counter("pool.jobs");
     static auto& queue_depth =
         obs::Registry::global().histogram("pool.queue_depth");
     jobs.add();
-    queue_depth.record(jobs_.size());  // includes the job just pushed
+    queue_depth.record(depth);
   }
-  work_cv_.notify_all();
+  lock.lock();
   drive(lock, job);  // the submitting thread always helps
   done_cv_.wait(lock, [&] { return job->completed == job->n_total; });
   if (const auto it = std::find(jobs_.begin(), jobs_.end(), job);

@@ -7,6 +7,7 @@
 #include <cmath>
 #include <cstdarg>
 #include <cstdio>
+#include <ctime>
 
 #include "sim/simd.hpp"
 
@@ -174,6 +175,19 @@ void Snapshot::merge(const Snapshot& other) {
             [](const auto& a, const auto& b) { return a.name < b.name; });
 }
 
+void Snapshot::subtract(const Snapshot& earlier) {
+  for (auto& ours : counters) {
+    if (const auto* theirs = earlier.find_counter(ours.name)) {
+      ours.value = ours.value > theirs->value ? ours.value - theirs->value : 0;
+    }
+  }
+  for (auto& ours : histograms) {
+    if (const auto* theirs = earlier.find_histogram(ours.name)) {
+      ours.subtract(*theirs);
+    }
+  }
+}
+
 namespace {
 
 void appendf(std::string& out, const char* format, ...)
@@ -196,6 +210,30 @@ std::string sanitize_metric_name(std::string_view name) {
   out.reserve(name.size());
   for (const char c : name) out += (c == '.' || c == '-') ? '_' : c;
   return out;
+}
+
+/// `# HELP` text for the exposition: specific strings for the well-known
+/// metrics, a generic-but-honest fallback for the rest (every metric gets
+/// a HELP line - scrapers treat its absence as a malformed family).
+const char* metric_help(std::string_view name, bool histogram) {
+  if (name == "cache.hits") return "Result-cache hits.";
+  if (name == "cache.misses") return "Result-cache misses.";
+  if (name == "cache.bytes") return "Resident reply-body bytes in the result cache.";
+  if (name == "server.frames_in") return "Request frames received.";
+  if (name == "server.frames_out") return "Response frames sent.";
+  if (name == "server.slow_requests") return "Requests slower than the --slow-request-ms threshold.";
+  if (name == "sched.campaigns") return "Campaigns submitted to the shard scheduler.";
+  if (name == "sched.shards") return "Shards enqueued on the shard scheduler.";
+  if (name == "tvla.campaigns") return "TVLA campaigns constructed.";
+  if (name == "tvla.traces") return "Traces budgeted across all campaigns.";
+  if (name == "tvla.traces_run") return "Traces actually simulated (lane-block granularity).";
+  if (name == "pool.jobs") return "parallel_for jobs submitted to the shared pool.";
+  if (name == "obs.log_suppressed") return "Rate-limited log lines dropped by the token bucket.";
+  if (name == "server.audit_us") return "Audit request service time, microseconds.";
+  if (name == "sched.shard_us") return "Per-shard execution time, microseconds.";
+  if (name == "pool.queue_depth") return "Concurrent jobs resident in the pool at submit.";
+  return histogram ? "polaris execution histogram (see obs.hpp naming scheme)."
+                   : "polaris execution counter (see obs.hpp naming scheme).";
 }
 
 }  // namespace
@@ -223,17 +261,38 @@ std::string Snapshot::json_fragment() const {
   return out;
 }
 
-std::string Snapshot::prometheus(std::string_view prefix) const {
+std::string Snapshot::prometheus(std::string_view prefix,
+                                 const ProcessInfo* info) const {
   std::string out;
+  if (info != nullptr) {
+    const std::string build_info = std::string(prefix) + "build_info";
+    appendf(out,
+            "# HELP %s Build flavor and the SIMD kernel this process runs.\n"
+            "# TYPE %s gauge\n",
+            build_info.c_str(), build_info.c_str());
+    appendf(out, "%s{build=\"%s\",simd=\"%s\",lane_words=\"%" PRIu64 "\"} 1\n",
+            build_info.c_str(), info->build_type.c_str(), info->simd.c_str(),
+            info->lane_words);
+    const std::string uptime = std::string(prefix) + "uptime_seconds";
+    appendf(out,
+            "# HELP %s Seconds since the daemon started.\n"
+            "# TYPE %s gauge\n%s %.3f\n",
+            uptime.c_str(), uptime.c_str(), uptime.c_str(),
+            info->uptime_seconds);
+  }
   for (const auto& counter : counters) {
     const std::string name =
         std::string(prefix) + sanitize_metric_name(counter.name);
+    appendf(out, "# HELP %s %s\n", name.c_str(),
+            metric_help(counter.name, /*histogram=*/false));
     appendf(out, "# TYPE %s counter\n%s %" PRIu64 "\n", name.c_str(),
             name.c_str(), counter.value);
   }
   for (const auto& histogram : histograms) {
     const std::string name =
         std::string(prefix) + sanitize_metric_name(histogram.name);
+    appendf(out, "# HELP %s %s\n", name.c_str(),
+            metric_help(histogram.name, /*histogram=*/true));
     appendf(out, "# TYPE %s summary\n", name.c_str());
     for (const double q : {0.5, 0.95, 0.99}) {
       appendf(out, "%s{quantile=\"%g\"} %.1f\n", name.c_str(), q,
@@ -300,6 +359,25 @@ Snapshot Registry::snapshot() const {
 
 // --- Structured log -------------------------------------------------------
 
+std::int64_t wall_clock_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string wall_clock_iso8601() {
+  const std::int64_t ms = wall_clock_ms();
+  const std::time_t seconds = static_cast<std::time_t>(ms / 1000);
+  std::tm utc{};
+  gmtime_r(&seconds, &utc);
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer),
+                "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ", utc.tm_year + 1900,
+                utc.tm_mon + 1, utc.tm_mday, utc.tm_hour, utc.tm_min,
+                utc.tm_sec, static_cast<int>(ms % 1000));
+  return buffer;
+}
+
 void log(const char* component, const std::string& message) {
   constexpr double kBurst = 20.0;
   constexpr double kRefillPerSec = 10.0;
@@ -323,7 +401,10 @@ void log(const char* component, const std::string& message) {
     }
   }
   if (emit) {
-    std::fprintf(stderr, "polaris[%s] %s\n", component, message.c_str());
+    // Wall-clock prefix (the only wall-clock in obs): daemon stderr lines
+    // must be correlatable with client-side timestamps across machines.
+    std::fprintf(stderr, "%s polaris[%s] %s\n", wall_clock_iso8601().c_str(),
+                 component, message.c_str());
   } else {
     static auto& suppressed =
         Registry::global().counter("obs.log_suppressed");

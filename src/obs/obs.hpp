@@ -157,13 +157,33 @@ struct Snapshot {
   /// sides have a metric). Associative and commutative.
   void merge(const Snapshot& other);
 
+  /// Removes `earlier`'s samples from this snapshot - the interval delta
+  /// between two snapshots of the same growing registry. Counter values
+  /// and histogram counts saturate at zero; metrics only `earlier` has are
+  /// dropped (they no longer exist in the later registry, which cannot
+  /// happen for snapshots of one live registry).
+  void subtract(const Snapshot& earlier);
+
   /// `"counters":{...},"histograms":{...}` - a fragment for embedding in a
   /// larger JSON object (histograms report count/sum/mean/p50/p95/p99).
   [[nodiscard]] std::string json_fragment() const;
+
+  /// Process-level identity for the Prometheus exposition below: rendered
+  /// as a `<prefix>build_info{...} 1` info gauge plus
+  /// `<prefix>uptime_seconds` when passed to prometheus().
+  struct ProcessInfo {
+    std::string build_type;
+    std::string simd;
+    std::uint64_t lane_words = 0;
+    double uptime_seconds = 0.0;
+  };
+
   /// Prometheus-style text exposition: counters as `counter` metrics,
-  /// histograms as `summary` quantiles. Metric names are prefixed and
-  /// sanitized ('.' and '-' become '_').
-  [[nodiscard]] std::string prometheus(std::string_view prefix) const;
+  /// histograms as `summary` quantiles, each preceded by `# HELP` and
+  /// `# TYPE` lines. Metric names are prefixed and sanitized ('.' and '-'
+  /// become '_'). A non-null `info` prepends the build_info/uptime gauges.
+  [[nodiscard]] std::string prometheus(std::string_view prefix,
+                                       const ProcessInfo* info = nullptr) const;
 };
 
 /// Named metric registry. `global()` is the process-wide instance every
@@ -187,8 +207,18 @@ class Registry {
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
 };
 
+/// Wall-clock timestamp formatted as ISO-8601 UTC with milliseconds
+/// (`2026-08-07T12:34:56.789Z`). This is the prefix every log() line
+/// carries, exposed so tests (and other emitters) can check the format.
+[[nodiscard]] std::string wall_clock_iso8601();
+
+/// Wall-clock milliseconds since the Unix epoch (system clock - the only
+/// obs timestamp that is NOT on the steady timebase; use for correlating
+/// samples with the outside world, never for durations).
+[[nodiscard]] std::int64_t wall_clock_ms();
+
 /// Structured, rate-limited stderr log line:
-///   `polaris[<component>] <message>`
+///   `<ISO-8601 ms UTC> polaris[<component>] <message>`
 /// A token bucket (burst 20, refill 10/s) drops excess lines and counts
 /// them in the `obs.log_suppressed` counter instead of flooding stderr -
 /// safe to call from a tight failure loop.

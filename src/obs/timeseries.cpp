@@ -1,0 +1,130 @@
+#include "obs/timeseries.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+
+namespace polaris::obs {
+
+TimeSeries::TimeSeries(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+void TimeSeries::push(TimePoint point) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(point));
+  } else {
+    ring_[next_] = std::move(point);
+  }
+  next_ = (next_ + 1) % capacity_;
+  ++pushed_;
+}
+
+std::vector<TimePoint> TimeSeries::recent(std::size_t n) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.empty()) return {};
+  const std::size_t count = std::min(n, ring_.size());
+  std::vector<TimePoint> out;
+  out.reserve(count);
+  // Oldest-first: walk backwards from the newest slot, then reverse. When
+  // the ring is not yet full the newest is at next_ - 1 == size() - 1 too.
+  const std::size_t newest =
+      (next_ + ring_.size() - 1) % ring_.size();
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(ring_[(newest + ring_.size() - i) % ring_.size()]);
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::size_t TimeSeries::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.size();
+}
+
+std::uint64_t TimeSeries::total_pushed() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return pushed_;
+}
+
+// --- Sampler ---------------------------------------------------------------
+
+Sampler::Sampler(Registry& registry, Options options)
+    : registry_(registry),
+      options_(std::move(options)),
+      series_(options_.capacity) {
+  if (options_.interval_ms == 0) options_.interval_ms = 1000;
+}
+
+Sampler::~Sampler() { stop(); }
+
+void Sampler::start() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (running_) return;
+  stop_requested_ = false;
+  running_ = true;
+  thread_ = std::thread(&Sampler::run, this);
+}
+
+void Sampler::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  wake_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  running_ = false;
+}
+
+void Sampler::run() {
+  static auto& samples = Registry::global().counter("obs.samples");
+  TimePoint previous;
+  bool have_previous = false;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (wake_.wait_for(lock, std::chrono::milliseconds(options_.interval_ms),
+                         [this] { return stop_requested_; })) {
+        return;
+      }
+    }
+    TimePoint point;
+    point.wall_ms = wall_clock_ms();
+    point.mono_ns = now_ns();
+    point.snapshot = registry_.snapshot();
+    append_metrics_line(point, have_previous ? &previous : nullptr);
+    series_.push(point);
+    samples.add();
+    previous = std::move(point);
+    have_previous = true;
+  }
+}
+
+void Sampler::append_metrics_line(const TimePoint& current,
+                                  const TimePoint* previous) {
+  if (options_.metrics_file.empty()) return;
+  Snapshot delta = current.snapshot;
+  std::int64_t interval_ms = static_cast<std::int64_t>(options_.interval_ms);
+  if (previous != nullptr) {
+    delta.subtract(previous->snapshot);
+    interval_ms = (current.mono_ns - previous->mono_ns) / 1000000;
+  }
+  std::FILE* file = std::fopen(options_.metrics_file.c_str(), "a");
+  if (file == nullptr) {
+    static auto& errors = Registry::global().counter("obs.metrics_file_errors");
+    errors.add();
+    return;
+  }
+  const std::string fragment = delta.json_fragment();
+  std::fprintf(file, "{\"wall_ms\":%" PRId64 ",\"interval_ms\":%" PRId64 ",%s}\n",
+               current.wall_ms, interval_ms, fragment.c_str());
+  std::fclose(file);
+}
+
+}  // namespace polaris::obs

@@ -68,6 +68,11 @@ StatsReply Client::stats() {
   return decode_stats_reply(response.body);
 }
 
+StatusReply Client::status() {
+  const Response response = roundtrip(encode_status_request());
+  return decode_status_reply(response.body);
+}
+
 AuditReply Client::audit(const AuditRequest& request) {
   const Response response = roundtrip(encode_audit_request(request));
   AuditReply reply = decode_audit_reply(response.body);

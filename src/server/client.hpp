@@ -24,6 +24,10 @@ class Client {
   [[nodiscard]] PingReply ping();
   /// Registry snapshot + runtime identity of the daemon process.
   [[nodiscard]] StatsReply stats();
+  /// Live-operations snapshot: in-flight requests, campaign progress,
+  /// flight-recorder ring. Older daemons answer kBadPayload (thrown here
+  /// as ServerError), exactly like stats() against a pre-obs daemon.
+  [[nodiscard]] StatusReply status();
   [[nodiscard]] AuditReply audit(const AuditRequest& request);
   /// Streaming audit: sends kAuditStream and consumes kOk frames until the
   /// final AUDS reply, invoking `on_partial` (may be empty) per AUDP

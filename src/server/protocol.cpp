@@ -114,6 +114,20 @@ bool read_all(int fd, std::uint8_t* data, std::size_t size, bool eof_ok,
 
 }  // namespace
 
+const char* request_kind_name(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kPing: return "ping";
+    case RequestKind::kAudit: return "audit";
+    case RequestKind::kMask: return "mask";
+    case RequestKind::kScore: return "score";
+    case RequestKind::kShutdown: return "shutdown";
+    case RequestKind::kStats: return "stats";
+    case RequestKind::kAuditStream: return "audit_stream";
+    case RequestKind::kStatus: return "status";
+  }
+  return "?";
+}
+
 const char* to_string(Status status) {
   switch (status) {
     case Status::kOk: return "ok";
@@ -142,6 +156,11 @@ std::vector<std::uint8_t> encode_shutdown_request() {
 
 std::vector<std::uint8_t> encode_stats_request() {
   auto out = request_header(RequestKind::kStats);
+  return finish_request(out);
+}
+
+std::vector<std::uint8_t> encode_status_request() {
+  auto out = request_header(RequestKind::kStatus);
   return finish_request(out);
 }
 
@@ -193,7 +212,7 @@ RequestKind decode_request_kind(serialize::Reader& in) {
   in.enter_chunk("POLQ");
   const std::uint8_t kind = in.u8();
   in.exit_chunk();
-  if (kind > static_cast<std::uint8_t>(RequestKind::kAuditStream)) {
+  if (kind > static_cast<std::uint8_t>(RequestKind::kStatus)) {
     throw std::runtime_error("polaris serve: unknown request kind " +
                              std::to_string(kind));
   }
@@ -407,6 +426,9 @@ std::vector<std::uint8_t> encode_stats_reply(const StatsReply& reply) {
   out.u64(reply.lane_words);
   out.u64(reply.requests_served);
   out.u64(reply.connections);
+  // Uptime, appended at end-of-chunk: pre-status readers skip it via the
+  // chunk length; new readers default it to 0 when absent.
+  out.u64(reply.uptime_ms);
   out.end_chunk();
   // The registry snapshot, as its own chunk: counters as (name, value),
   // histograms as (name, count, sum, sparse non-zero buckets).
@@ -443,6 +465,9 @@ StatsReply decode_stats_reply(std::span<const std::uint8_t> body) {
   reply.lane_words = in.u64();
   reply.requests_served = in.u64();
   reply.connections = in.u64();
+  if (in.remaining() > 0) {  // pre-status daemons end the chunk here
+    reply.uptime_ms = in.u64();
+  }
   in.exit_chunk();
   in.enter_chunk("SNAP");
   // Check-before-allocate: a counter is at least a length-prefixed name
@@ -483,6 +508,124 @@ StatsReply decode_stats_reply(std::span<const std::uint8_t> body) {
       histogram.buckets.emplace_back(index, count);
     }
     reply.snapshot.histograms.push_back(std::move(histogram));
+  }
+  in.exit_chunk();
+  return reply;
+}
+
+std::vector<std::uint8_t> encode_status_reply(const StatusReply& reply) {
+  serialize::Writer out;
+  out.begin_chunk("STAT");
+  out.u32(reply.protocol);
+  out.str(reply.model_name);
+  out.u64(reply.requests_served);
+  out.u64(reply.connections_active);
+  out.u64(reply.connections_total);
+  out.u64(reply.uptime_ms);
+  out.u64(reply.sample_interval_ms);
+  out.u64(reply.samples);
+  out.end_chunk();
+  out.begin_chunk("INFL");
+  out.u64(reply.inflight.size());
+  for (const auto& entry : reply.inflight) {
+    out.u8(entry.kind);
+    out.u64(entry.bytes);
+    out.u64(entry.age_us);
+  }
+  out.end_chunk();
+  out.begin_chunk("PROG");
+  out.u64(reply.campaigns.size());
+  for (const auto& row : reply.campaigns) {
+    out.str(row.label);
+    out.u64(row.sequence);
+    out.u64(row.shards_done);
+    out.u64(row.shards_total);
+    out.u64(row.queue_position);
+    out.u64(row.age_us);
+    out.boolean(row.stopped);
+  }
+  out.end_chunk();
+  out.begin_chunk("FREC");
+  out.u64(reply.recent.size());
+  for (const auto& record : reply.recent) {
+    out.u8(record.kind);
+    out.u8(record.status);
+    out.boolean(record.cache_hit);
+    out.u64(record.bytes);
+    out.u64(record.duration_us);
+    out.u64(record.age_us);
+  }
+  out.end_chunk();
+  return out.finish();
+}
+
+StatusReply decode_status_reply(std::span<const std::uint8_t> body) {
+  serialize::Reader in(std::vector<std::uint8_t>(body.begin(), body.end()));
+  StatusReply reply;
+  in.enter_chunk("STAT");
+  reply.protocol = in.u32();
+  reply.model_name = in.str();
+  reply.requests_served = in.u64();
+  reply.connections_active = in.u64();
+  reply.connections_total = in.u64();
+  reply.uptime_ms = in.u64();
+  reply.sample_interval_ms = in.u64();
+  reply.samples = in.u64();
+  in.exit_chunk();
+  in.enter_chunk("INFL");
+  // Check-before-allocate, like the stats codec: an in-flight entry is
+  // exactly 17 payload bytes, a progress row at least a length-prefixed
+  // label plus five u64s and a bool, a flight record exactly 27 bytes -
+  // hostile counts are rejected before any reserve.
+  const std::uint64_t n_inflight = in.u64();
+  if (n_inflight > in.remaining() / 17) {
+    throw std::runtime_error("polaris serve: in-flight count exceeds "
+                             "payload size");
+  }
+  reply.inflight.reserve(n_inflight);
+  for (std::uint64_t i = 0; i < n_inflight; ++i) {
+    InflightEntry entry;
+    entry.kind = in.u8();
+    entry.bytes = in.u64();
+    entry.age_us = in.u64();
+    reply.inflight.push_back(entry);
+  }
+  in.exit_chunk();
+  in.enter_chunk("PROG");
+  const std::uint64_t n_campaigns = in.u64();
+  if (n_campaigns > in.remaining() / 48) {
+    throw std::runtime_error("polaris serve: campaign count exceeds "
+                             "payload size");
+  }
+  reply.campaigns.reserve(n_campaigns);
+  for (std::uint64_t i = 0; i < n_campaigns; ++i) {
+    engine::CampaignProgress row;
+    row.label = in.str();
+    row.sequence = in.u64();
+    row.shards_done = static_cast<std::size_t>(in.u64());
+    row.shards_total = static_cast<std::size_t>(in.u64());
+    row.queue_position = static_cast<std::size_t>(in.u64());
+    row.age_us = in.u64();
+    row.stopped = in.boolean();
+    reply.campaigns.push_back(std::move(row));
+  }
+  in.exit_chunk();
+  in.enter_chunk("FREC");
+  const std::uint64_t n_records = in.u64();
+  if (n_records > in.remaining() / 27) {
+    throw std::runtime_error("polaris serve: flight-record count exceeds "
+                             "payload size");
+  }
+  reply.recent.reserve(n_records);
+  for (std::uint64_t i = 0; i < n_records; ++i) {
+    FlightRecordEntry record;
+    record.kind = in.u8();
+    record.status = in.u8();
+    record.cache_hit = in.boolean();
+    record.bytes = in.u64();
+    record.duration_us = in.u64();
+    record.age_us = in.u64();
+    reply.recent.push_back(record);
   }
   in.exit_chunk();
   return reply;

@@ -36,6 +36,7 @@
 
 #include "core/config.hpp"
 #include "core/polaris.hpp"
+#include "engine/scheduler.hpp"
 #include "netlist/netlist.hpp"
 #include "obs/obs.hpp"
 #include "serialize/archive.hpp"
@@ -63,7 +64,16 @@ enum class RequestKind : std::uint8_t {
                      // enabled configs); same AUDQ payload and cache key
                      // as kAudit. Unknown to older servers: kBadPayload,
                      // connection stays open, no version bump.
+  kStatus = 7,  // live-operations snapshot: in-flight requests, campaign
+                // progress, flight-recorder ring. Pure telemetry, never
+                // cached. Unknown to older servers: kBadPayload, same
+                // append-only contract as kStats - no version bump.
 };
+
+/// Short lowercase name for a request kind ("ping", "audit", ...), used in
+/// log lines, span args, and the flight recorder. Never "?" for a kind
+/// decode_request_kind accepts.
+[[nodiscard]] const char* request_kind_name(RequestKind kind);
 
 /// On-the-wire status codes (append-only, like every on-disk enum).
 enum class Status : std::uint8_t {
@@ -142,6 +152,46 @@ struct StatsReply {
   std::uint64_t requests_served = 0;
   std::uint64_t connections = 0;
   obs::Snapshot snapshot;
+  /// Milliseconds since the daemon started (appended field; 0 from older
+  /// servers). Lets `client stats --prom` export polaris_uptime_seconds.
+  std::uint64_t uptime_ms = 0;
+};
+
+/// One request currently being serviced by a handler thread (decoded but
+/// not yet answered) at the instant the status snapshot was taken.
+struct InflightEntry {
+  std::uint8_t kind = 0;        // RequestKind as sent on the wire
+  std::uint64_t bytes = 0;      // request payload size
+  std::uint64_t age_us = 0;     // time since the payload was decoded
+};
+
+/// One completed request from the server's flight-recorder ring.
+struct FlightRecordEntry {
+  std::uint8_t kind = 0;
+  std::uint8_t status = 0;       // Status the response carried
+  bool cache_hit = false;
+  std::uint64_t bytes = 0;       // request payload size
+  std::uint64_t duration_us = 0; // decode-to-encode service time
+  std::uint64_t age_us = 0;      // time since completion
+};
+
+/// Live-operations snapshot: what the daemon is doing RIGHT NOW (in-flight
+/// requests, per-campaign shard progress) plus what it just finished (the
+/// flight-recorder ring, newest first). Point-in-time telemetry gathered
+/// under the scheduler/connection locks - never cached, never part of any
+/// fingerprint or result.
+struct StatusReply {
+  std::uint32_t protocol = kProtocolVersion;
+  std::string model_name;
+  std::uint64_t requests_served = 0;
+  std::uint64_t connections_active = 0;  // handler threads currently open
+  std::uint64_t connections_total = 0;   // accepted since startup
+  std::uint64_t uptime_ms = 0;
+  std::uint64_t sample_interval_ms = 0;  // metrics sampler period (0 = off)
+  std::uint64_t samples = 0;             // time-series points collected
+  std::vector<InflightEntry> inflight;
+  std::vector<engine::CampaignProgress> campaigns;
+  std::vector<FlightRecordEntry> recent;  // newest first
 };
 
 struct AuditReply {
@@ -192,6 +242,7 @@ struct ScoreReply {
 [[nodiscard]] std::vector<std::uint8_t> encode_ping_request();
 [[nodiscard]] std::vector<std::uint8_t> encode_shutdown_request();
 [[nodiscard]] std::vector<std::uint8_t> encode_stats_request();
+[[nodiscard]] std::vector<std::uint8_t> encode_status_request();
 [[nodiscard]] std::vector<std::uint8_t> encode_audit_request(const AuditRequest& request);
 /// Same AUDQ payload as encode_audit_request under kind kAuditStream.
 [[nodiscard]] std::vector<std::uint8_t> encode_audit_stream_request(
@@ -210,6 +261,7 @@ struct ScoreReply {
 [[nodiscard]] std::vector<std::uint8_t> encode_mask_reply(const MaskReply& reply);
 [[nodiscard]] std::vector<std::uint8_t> encode_score_reply(const ScoreReply& reply);
 [[nodiscard]] std::vector<std::uint8_t> encode_stats_reply(const StatsReply& reply);
+[[nodiscard]] std::vector<std::uint8_t> encode_status_reply(const StatusReply& reply);
 
 /// Partial-checkpoint bodies for the streaming audit. is_audit_partial
 /// peeks the body's leading chunk tag so a streaming client can tell an
@@ -225,6 +277,7 @@ struct ScoreReply {
 [[nodiscard]] MaskReply decode_mask_reply(std::span<const std::uint8_t> body);
 [[nodiscard]] ScoreReply decode_score_reply(std::span<const std::uint8_t> body);
 [[nodiscard]] StatsReply decode_stats_reply(std::span<const std::uint8_t> body);
+[[nodiscard]] StatusReply decode_status_reply(std::span<const std::uint8_t> body);
 
 /// Full response payload: POLS header (status/message/cache_hit) + BODY.
 /// `body` may be empty for error responses and ping-less bodies.

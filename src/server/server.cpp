@@ -6,6 +6,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstring>
 #include <initializer_list>
 #include <utility>
@@ -64,6 +65,7 @@ obs::Histogram& request_histogram(RequestKind kind) {
   static auto& shutdown = registry.histogram("server.shutdown_us");
   static auto& stats = registry.histogram("server.stats_us");
   static auto& audit_stream = registry.histogram("server.audit_stream_us");
+  static auto& status = registry.histogram("server.status_us");
   switch (kind) {
     case RequestKind::kPing: return ping;
     case RequestKind::kAudit: return audit;
@@ -72,21 +74,9 @@ obs::Histogram& request_histogram(RequestKind kind) {
     case RequestKind::kShutdown: return shutdown;
     case RequestKind::kStats: return stats;
     case RequestKind::kAuditStream: return audit_stream;
+    case RequestKind::kStatus: return status;
   }
   return ping;  // unreachable: decode_request_kind rejects unknown kinds
-}
-
-const char* request_name(RequestKind kind) {
-  switch (kind) {
-    case RequestKind::kPing: return "ping";
-    case RequestKind::kAudit: return "audit";
-    case RequestKind::kMask: return "mask";
-    case RequestKind::kScore: return "score";
-    case RequestKind::kShutdown: return "shutdown";
-    case RequestKind::kStats: return "stats";
-    case RequestKind::kAuditStream: return "audit_stream";
-  }
-  return "?";
 }
 
 }  // namespace
@@ -94,7 +84,17 @@ const char* request_name(RequestKind kind) {
 Server::Server(ServerOptions options)
     : options_(std::move(options)),
       scheduler_(options_.threads),
-      cache_(options_.cache_capacity) {
+      cache_(options_.cache_capacity),
+      recorder_(options_.flight_records,
+                static_cast<std::uint64_t>(options_.slow_request_ms) * 1000),
+      sampler_(obs::Registry::global(),
+               obs::Sampler::Options{
+                   options_.sample_interval_ms == 0
+                       ? std::size_t{1000}
+                       : options_.sample_interval_ms,
+                   /*capacity=*/128, options_.metrics_file}) {
+  start_mono_ns_ = obs::now_ns();
+  start_wall_ms_ = obs::wall_clock_ms();
   polaris_ = core::Polaris::load_bundle(options_.bundle_path, &info_);
 
   sockaddr_un addr{};
@@ -161,6 +161,7 @@ Server::~Server() {
 void Server::start() {
   if (started_) throw std::logic_error("polaris serve: start() called twice");
   started_ = true;
+  if (options_.sample_interval_ms > 0) sampler_.start();
   accept_thread_ = std::thread(&Server::accept_loop, this);
 }
 
@@ -246,6 +247,9 @@ void Server::accept_loop() {
   static auto& drain_us = obs::Registry::global().histogram("server.drain_us");
   drain_us.record(
       static_cast<std::uint64_t>((obs::now_ns() - drain_start) / 1000));
+  // Last: the sampler outlives the handlers so the final intervals (the
+  // drain itself included) still land in the time-series and metrics file.
+  sampler_.stop();
 }
 
 void Server::reap_finished_connections() {
@@ -329,13 +333,30 @@ bool Server::handle_payload(int fd, std::vector<std::uint8_t>& payload) {
   // Per-kind service time: decode through compute/cache lookup, known only
   // once the kind decoded - an undecodable payload records nowhere.
   obs::Histogram* service_us = nullptr;
+  const std::uint64_t payload_bytes = payload.size();
+  // 0xFF marks "payload never yielded a kind" in the flight recorder; it
+  // can never collide with a real RequestKind (decode rejects > kStatus).
+  std::uint8_t wire_kind = 0xFF;
+  const char* kind_name = "?";
+  const std::uint64_t token = next_inflight_token_.fetch_add(1);
+  bool tracked = false;
   const std::int64_t t0 = obs::now_ns();
   obs::Span span("request", "server");
   try {
     serialize::Reader in(std::move(payload));
     const RequestKind kind = decode_request_kind(in);
     service_us = &request_histogram(kind);
-    span.arg("kind", request_name(kind));
+    wire_kind = static_cast<std::uint8_t>(kind);
+    kind_name = request_kind_name(kind);
+    span.arg("kind", kind_name);
+    {
+      // Visible to status requests from here until just before the reply
+      // frame is written - the decode-to-encode span the flight recorder
+      // times, so "in flight" and duration_us describe the same window.
+      const std::lock_guard<std::mutex> lock(inflight_mutex_);
+      inflight_.emplace(token, Inflight{wire_kind, payload_bytes, t0});
+      tracked = true;
+    }
     if (stopping_.load() && kind != RequestKind::kPing &&
         kind != RequestKind::kShutdown) {
       throw ServerError(Status::kShuttingDown, to_string(Status::kShuttingDown));
@@ -349,6 +370,7 @@ bool Server::handle_payload(int fd, std::vector<std::uint8_t>& payload) {
       case RequestKind::kMask: body = serve_mask(in, cache_hit); break;
       case RequestKind::kScore: body = serve_score(in, cache_hit); break;
       case RequestKind::kStats: body = serve_stats(); break;
+      case RequestKind::kStatus: body = serve_status(); break;
       case RequestKind::kShutdown:
         keep_open = false;
         request_stop();
@@ -366,11 +388,17 @@ bool Server::handle_payload(int fd, std::vector<std::uint8_t>& payload) {
     body.reset();
   }
   if (status != Status::kOk) request_errors.add();
-  if (service_us != nullptr) {
-    service_us->record(
-        static_cast<std::uint64_t>((obs::now_ns() - t0) / 1000));
-  }
+  const auto elapsed_us =
+      static_cast<std::uint64_t>((obs::now_ns() - t0) / 1000);
+  if (service_us != nullptr) service_us->record(elapsed_us);
   span.arg("status", to_string(status)).arg("cache_hit", cache_hit);
+  // Untrack BEFORE the reply write: write_frame may throw (torn peer), and
+  // an entry that outlives its handler would sit in the status table
+  // forever.
+  if (tracked) {
+    const std::lock_guard<std::mutex> lock(inflight_mutex_);
+    inflight_.erase(token);
+  }
   // The probe only fires on a send timeout: a cooperating client (blocked
   // in read) always gets its in-flight response, even mid-drain; only a
   // stalled peer with a full buffer is dropped.
@@ -381,6 +409,14 @@ bool Server::handle_payload(int fd, std::vector<std::uint8_t>& payload) {
               [this] { return stopping_.load(); });
   frames_out.add();
   requests_served_.fetch_add(1);
+  FlightRecorder::Record record;
+  record.kind = wire_kind;
+  record.status = static_cast<std::uint8_t>(status);
+  record.cache_hit = cache_hit;
+  record.bytes = payload_bytes;
+  record.duration_us = elapsed_us;
+  record.completed_ns = obs::now_ns();
+  recorder_.record(record, kind_name);
   return keep_open;
 }
 
@@ -410,8 +446,64 @@ core::ResultCache::Body Server::serve_stats() {
   reply.requests_served = requests_served_.load();
   reply.connections = connections_accepted_.load();
   reply.snapshot = obs::Registry::global().snapshot();
+  reply.uptime_ms = static_cast<std::uint64_t>(
+      (obs::now_ns() - start_mono_ns_) / 1'000'000);
   return std::make_shared<const std::vector<std::uint8_t>>(
       encode_stats_reply(reply));
+}
+
+core::ResultCache::Body Server::serve_status() {
+  const std::int64_t now = obs::now_ns();
+  StatusReply reply;
+  reply.model_name = info_.model_name;
+  reply.requests_served = requests_served_.load();
+  reply.connections_total = connections_accepted_.load();
+  {
+    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    std::uint64_t active = 0;
+    for (const auto& connection : connections_) {
+      if (!connection->done.load()) ++active;
+    }
+    reply.connections_active = active;
+  }
+  reply.uptime_ms =
+      static_cast<std::uint64_t>((now - start_mono_ns_) / 1'000'000);
+  reply.sample_interval_ms = options_.sample_interval_ms;
+  reply.samples = sampler_.series().total_pushed();
+  {
+    const std::lock_guard<std::mutex> lock(inflight_mutex_);
+    reply.inflight.reserve(inflight_.size());
+    for (const auto& [token, request] : inflight_) {
+      InflightEntry entry;
+      entry.kind = request.kind;
+      entry.bytes = request.bytes;
+      entry.age_us =
+          static_cast<std::uint64_t>((now - request.start_ns) / 1000);
+      reply.inflight.push_back(entry);
+    }
+  }
+  // Oldest first: the map iterates in hash order, which would shuffle the
+  // table between polls.
+  std::sort(reply.inflight.begin(), reply.inflight.end(),
+            [](const InflightEntry& a, const InflightEntry& b) {
+              return a.age_us > b.age_us;
+            });
+  reply.campaigns = scheduler_.progress();
+  const auto records = recorder_.recent();
+  reply.recent.reserve(records.size());
+  for (const auto& record : records) {
+    FlightRecordEntry entry;
+    entry.kind = record.kind;
+    entry.status = record.status;
+    entry.cache_hit = record.cache_hit;
+    entry.bytes = record.bytes;
+    entry.duration_us = record.duration_us;
+    entry.age_us =
+        static_cast<std::uint64_t>((now - record.completed_ns) / 1000);
+    reply.recent.push_back(entry);
+  }
+  return std::make_shared<const std::vector<std::uint8_t>>(
+      encode_status_reply(reply));
 }
 
 core::ResultCache::Body Server::serve_audit(serialize::Reader& in,
@@ -529,10 +621,12 @@ core::ResultCache::Body Server::serve_mask(serialize::Reader& in,
       // netlist) drain the shared queue together, interleaved with every
       // other client's shards.
       const auto tvla_config = core::tvla_config_for(polaris_.config(), design);
-      auto before = tvla::submit_fixed_vs_random(scheduler_, design.netlist,
-                                                 lib_, tvla_config);
-      auto after = tvla::submit_fixed_vs_random(scheduler_, outcome.masked,
-                                                lib_, tvla_config);
+      auto before = tvla::submit_fixed_vs_random(
+          scheduler_, design.netlist, lib_, tvla_config, {},
+          design.name + ":before");
+      auto after = tvla::submit_fixed_vs_random(
+          scheduler_, outcome.masked, lib_, tvla_config, {},
+          design.name + ":after");
       scheduler_.drain();
       reply.before = before.get();
       reply.after = after.get();

@@ -21,11 +21,14 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/polaris.hpp"
 #include "core/result_cache.hpp"
 #include "engine/scheduler.hpp"
+#include "obs/timeseries.hpp"
+#include "server/flight_recorder.hpp"
 #include "server/protocol.hpp"
 #include "techlib/techlib.hpp"
 
@@ -37,6 +40,11 @@ struct ServerOptions {
   std::size_t threads = 0;  // scheduler fan-out: 0 = all hardware threads
   std::size_t max_frame = kDefaultMaxFrame;  // per-frame payload cap, bytes
   std::size_t cache_capacity = 256;          // result-cache entries
+  // Live-operations knobs (pure telemetry; none affect served results):
+  std::size_t sample_interval_ms = 1000;  // metrics sampler period, 0 = off
+  std::string metrics_file;      // append one JSON delta line per interval
+  std::size_t flight_records = 64;       // completed-request ring depth
+  std::size_t slow_request_ms = 1000;    // log threshold, 0 = never log
 };
 
 struct ServerStats {
@@ -101,6 +109,9 @@ class Server {
   /// Registry snapshot + runtime identity. Never cached: the snapshot is
   /// execution telemetry and changes between any two calls.
   core::ResultCache::Body serve_stats();
+  /// Live-operations snapshot: in-flight requests, per-campaign scheduler
+  /// progress, flight-recorder ring. Never cached, for the same reason.
+  core::ResultCache::Body serve_status();
   core::ResultCache::Body serve_audit(serialize::Reader& in, bool& cache_hit);
   /// Streaming audit: identical compute and cache key to serve_audit, but
   /// while the campaign runs it pushes one kOk frame per early-stop
@@ -123,6 +134,21 @@ class Server {
   techlib::TechLibrary lib_ = techlib::TechLibrary::default_library();
   engine::Scheduler scheduler_;
   core::ResultCache cache_;
+  FlightRecorder recorder_;
+  obs::Sampler sampler_;
+  std::int64_t start_mono_ns_ = 0;  // obs::now_ns() at construction
+  std::int64_t start_wall_ms_ = 0;  // wall clock at construction
+
+  /// Requests currently being serviced (decoded, not yet answered), keyed
+  /// by a per-request token so concurrent handlers never collide.
+  struct Inflight {
+    std::uint8_t kind = 0;
+    std::uint64_t bytes = 0;
+    std::int64_t start_ns = 0;
+  };
+  std::mutex inflight_mutex_;
+  std::unordered_map<std::uint64_t, Inflight> inflight_;
+  std::atomic<std::uint64_t> next_inflight_token_{0};
 
   int listen_fd_ = -1;
   int wake_read_fd_ = -1;

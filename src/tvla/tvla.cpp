@@ -231,6 +231,10 @@ class Campaign {
   /// before submit()/run().
   void set_progress(ProgressFn progress) { progress_ = std::move(progress); }
 
+  /// Names the campaign in the scheduler's live progress table. Telemetry
+  /// only - never serialized, never part of the report.
+  void set_label(std::string label) { label_ = std::move(label); }
+
   /// Queues this campaign on the global scheduler. `self` keeps the
   /// campaign (and its power model / group layout) alive inside the shard
   /// closures until the last shard finalized the report.
@@ -251,7 +255,7 @@ class Campaign {
       return scheduler.submit_blocks<ShardState>(
           self->batch_count(), self->lane_words_, std::move(make),
           std::move(run_blk), std::move(merge), std::move(fin),
-          self->cost_weight());
+          self->cost_weight(), self->label_);
     }
     // Budget-enabled campaigns use the checkpointed seam even when the
     // milestone list is empty (floor >= budget): the incremental ascending
@@ -264,7 +268,8 @@ class Campaign {
     return scheduler.submit_checkpointed<ShardState>(
         self->batch_count(), self->lane_words_, std::move(make),
         std::move(run_blk), std::move(merge), std::move(fin),
-        self->checkpoint_shards_, std::move(checkpoint), self->cost_weight());
+        self->checkpoint_shards_, std::move(checkpoint), self->cost_weight(),
+        self->label_);
   }
 
  private:
@@ -450,6 +455,12 @@ class Campaign {
   /// leading `words` lane words.
   void run_block(ShardState& state, std::size_t batch_begin,
                  std::size_t words) const {
+    // One relaxed add per lane block (~64*words traces), NOT per trace:
+    // live throughput (traces/s via interval deltas) at the documented
+    // shard/block instrumentation granularity, never the kernel loop.
+    static auto& traces_run =
+        obs::Registry::global().counter("tvla.traces_run");
+    traces_run.add(static_cast<std::uint64_t>(words) * samples_per_batch());
     for (std::size_t w = 0; w < words; ++w) {
       const auto index = static_cast<std::uint64_t>(batch_begin + w);
       state.stimulus[w] = util::Xoshiro256(
@@ -561,6 +572,7 @@ class Campaign {
   // one checkpoint (under the scheduler's campaign merge lock) and read
   // by finalize() after the last shard's publication.
   std::vector<std::size_t> checkpoint_shards_;  // ascending prefix counts
+  std::string label_;  // progress-table name (empty = unnamed)
   ProgressFn progress_;
   bool stopped_ = false;
   std::size_t traces_used_ = 0;
@@ -601,8 +613,10 @@ LeakageReport run_fixed_vs_fixed(sim::CompiledDesignPtr design,
 namespace {
 std::future<LeakageReport> submit_campaign(std::shared_ptr<Campaign> campaign,
                                            engine::Scheduler& scheduler,
-                                           ProgressFn progress) {
+                                           ProgressFn progress,
+                                           std::string label) {
   campaign->set_progress(std::move(progress));
+  campaign->set_label(std::move(label));
   return Campaign::submit(std::move(campaign), scheduler);
 }
 }  // namespace
@@ -610,39 +624,39 @@ std::future<LeakageReport> submit_campaign(std::shared_ptr<Campaign> campaign,
 std::future<LeakageReport> submit_fixed_vs_random(
     engine::Scheduler& scheduler, const netlist::Netlist& design,
     const techlib::TechLibrary& lib, const TvlaConfig& config,
-    ProgressFn progress) {
+    ProgressFn progress, std::string label) {
   return submit_campaign(
       std::make_shared<Campaign>(design, lib, config, Mode::kFixedVsRandom),
-      scheduler, std::move(progress));
+      scheduler, std::move(progress), std::move(label));
 }
 
 std::future<LeakageReport> submit_fixed_vs_fixed(
     engine::Scheduler& scheduler, const netlist::Netlist& design,
     const techlib::TechLibrary& lib, const TvlaConfig& config,
-    ProgressFn progress) {
+    ProgressFn progress, std::string label) {
   return submit_campaign(
       std::make_shared<Campaign>(design, lib, config, Mode::kFixedVsFixed),
-      scheduler, std::move(progress));
+      scheduler, std::move(progress), std::move(label));
 }
 
 std::future<LeakageReport> submit_fixed_vs_random(
     engine::Scheduler& scheduler, sim::CompiledDesignPtr design,
     const techlib::TechLibrary& lib, const TvlaConfig& config,
-    ProgressFn progress) {
+    ProgressFn progress, std::string label) {
   return submit_campaign(std::make_shared<Campaign>(std::move(design), lib,
                                                     config,
                                                     Mode::kFixedVsRandom),
-                         scheduler, std::move(progress));
+                         scheduler, std::move(progress), std::move(label));
 }
 
 std::future<LeakageReport> submit_fixed_vs_fixed(
     engine::Scheduler& scheduler, sim::CompiledDesignPtr design,
     const techlib::TechLibrary& lib, const TvlaConfig& config,
-    ProgressFn progress) {
+    ProgressFn progress, std::string label) {
   return submit_campaign(std::make_shared<Campaign>(std::move(design), lib,
                                                     config,
                                                     Mode::kFixedVsFixed),
-                         scheduler, std::move(progress));
+                         scheduler, std::move(progress), std::move(label));
 }
 
 }  // namespace polaris::tvla

@@ -215,15 +215,17 @@ using ProgressFn =
 /// ignored - the scheduler owns the fan-out. The caller keeps `design` and
 /// `lib` alive until the future is ready; campaign-construction errors
 /// (e.g. a fixed-vector size mismatch) throw from the submit call itself.
+/// `label` names the campaign in the scheduler's live progress table
+/// (engine::CampaignProgress) - pure telemetry, never part of the result.
 [[nodiscard]] std::future<LeakageReport> submit_fixed_vs_random(
     engine::Scheduler& scheduler, const netlist::Netlist& design,
     const techlib::TechLibrary& lib, const TvlaConfig& config,
-    ProgressFn progress = {});
+    ProgressFn progress = {}, std::string label = {});
 
 [[nodiscard]] std::future<LeakageReport> submit_fixed_vs_fixed(
     engine::Scheduler& scheduler, const netlist::Netlist& design,
     const techlib::TechLibrary& lib, const TvlaConfig& config,
-    ProgressFn progress = {});
+    ProgressFn progress = {}, std::string label = {});
 
 /// Pre-compiled-plan variants of the async entry points (see the
 /// run_fixed_vs_random CompiledDesignPtr overload): the caller's plan is
@@ -232,11 +234,11 @@ using ProgressFn =
 [[nodiscard]] std::future<LeakageReport> submit_fixed_vs_random(
     engine::Scheduler& scheduler, sim::CompiledDesignPtr design,
     const techlib::TechLibrary& lib, const TvlaConfig& config,
-    ProgressFn progress = {});
+    ProgressFn progress = {}, std::string label = {});
 
 [[nodiscard]] std::future<LeakageReport> submit_fixed_vs_fixed(
     engine::Scheduler& scheduler, sim::CompiledDesignPtr design,
     const techlib::TechLibrary& lib, const TvlaConfig& config,
-    ProgressFn progress = {});
+    ProgressFn progress = {}, std::string label = {});
 
 }  // namespace polaris::tvla

@@ -331,4 +331,46 @@ TEST(ObsLog, RateLimitCountsSuppressedLines) {
   EXPECT_GE(after - before, 100u);
 }
 
+TEST(ObsSnapshot, SubtractKeepsMetricsBornInsideTheInterval) {
+  // A metric first touched AFTER the earlier snapshot has no earlier row
+  // to subtract - the whole-snapshot subtract must keep its full value,
+  // not drop or corrupt it.
+  obs::Registry registry;
+  registry.counter("old").add(3);
+  const auto earlier = registry.snapshot();
+  registry.counter("old").add(4);
+  registry.counter("born_late").add(9);
+  registry.histogram("h_late").record(50);
+  auto delta = registry.snapshot();
+  delta.subtract(earlier);
+  EXPECT_EQ(delta.counter_value("old"), 4u);
+  EXPECT_EQ(delta.counter_value("born_late"), 9u);
+  const auto* hist = delta.find_histogram("h_late");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, 1u);
+  EXPECT_EQ(hist->sum, 50u);
+}
+
+TEST(ObsWallClock, Iso8601TimestampHasTheDocumentedShape) {
+  // obs::log prefixes every line with this; scrapers pattern-match it, so
+  // the shape is a contract: "YYYY-MM-DDTHH:MM:SS.mmmZ" (24 chars, UTC).
+  const std::string stamp = obs::wall_clock_iso8601();
+  ASSERT_EQ(stamp.size(), 24u);
+  EXPECT_EQ(stamp[4], '-');
+  EXPECT_EQ(stamp[7], '-');
+  EXPECT_EQ(stamp[10], 'T');
+  EXPECT_EQ(stamp[13], ':');
+  EXPECT_EQ(stamp[16], ':');
+  EXPECT_EQ(stamp[19], '.');
+  EXPECT_EQ(stamp.back(), 'Z');
+  for (const std::size_t i : {0u, 1u, 2u, 3u, 5u, 6u, 8u, 9u, 11u, 12u,
+                              14u, 15u, 17u, 18u, 20u, 21u, 22u}) {
+    EXPECT_TRUE(stamp[i] >= '0' && stamp[i] <= '9') << "position " << i;
+  }
+  // Sanity: the year is the wall clock's, not 1970's.
+  EXPECT_GE(stamp.substr(0, 4), "2024");
+  // And it agrees with wall_clock_ms to within clock-read jitter.
+  EXPECT_GT(obs::wall_clock_ms(), 0);
+}
+
 }  // namespace

@@ -374,4 +374,62 @@ TEST(Scheduler, HeavierCampaignsDrainFirstWhenSerial) {
   EXPECT_EQ(first_batch_owner.front(), 2u);  // heavy went first despite order
 }
 
+TEST(Scheduler, ProgressTableTracksCampaignsMonotonically) {
+  // progress() is the live-status window the serve daemon exposes: rows in
+  // submission order, shards_done monotonic, queue_position = LPT drain
+  // rank, rows vanish exactly when campaigns finalize.
+  engine::Scheduler scheduler(1);  // serial: deterministic claim order
+  EXPECT_TRUE(scheduler.progress().empty());
+
+  // Observed from INSIDE running batches (documented safe: run_shard holds
+  // no scheduler lock): every alpha progress row seen mid-drain.
+  std::vector<std::uint64_t> alpha_done;
+  auto observe = [&scheduler, &alpha_done] {
+    for (const auto& row : scheduler.progress()) {
+      if (row.label == "alpha") {
+        EXPECT_FALSE(row.stopped);
+        EXPECT_EQ(row.shards_total, 12u);  // ShardPlan::make(24)
+        EXPECT_LE(row.shards_done, row.shards_total);
+        alpha_done.push_back(row.shards_done);
+      }
+    }
+  };
+  auto alpha = scheduler.submit<XorState>(
+      24, [](std::size_t) { return XorState{}; },
+      [&observe](XorState&, std::size_t) { observe(); },
+      [](XorState&, XorState&&) {}, [](XorState&&) { return 0; },
+      /*weight=*/24, "alpha");
+  auto beta = scheduler.submit<XorState>(
+      96, [](std::size_t) { return XorState{}; },
+      [](XorState&, std::size_t) {}, [](XorState&, XorState&&) {},
+      [](XorState&&) { return 0; }, /*weight=*/96, "beta");
+
+  // Before the drain: both rows, submission order, nothing done, and LPT
+  // ranks beta (heavier) ahead of alpha in the drain queue.
+  const auto before = scheduler.progress();
+  ASSERT_EQ(before.size(), 2u);
+  EXPECT_EQ(before[0].label, "alpha");
+  EXPECT_EQ(before[1].label, "beta");
+  EXPECT_EQ(before[0].shards_done, 0u);
+  EXPECT_EQ(before[1].shards_done, 0u);
+  EXPECT_EQ(before[0].shards_total, 12u);  // ShardPlan::make(24)
+  EXPECT_EQ(before[1].shards_total, 24u);  // ShardPlan::make(96)
+  EXPECT_EQ(before[1].queue_position, 0u);
+  EXPECT_EQ(before[0].queue_position, 1u);
+  EXPECT_EQ(before[0].sequence + 1, before[1].sequence);
+
+  scheduler.drain();
+  (void)alpha.get();
+  (void)beta.get();
+
+  // Every mid-drain observation: monotonic non-decreasing, never claiming
+  // completion while a batch of the campaign was still running.
+  ASSERT_FALSE(alpha_done.empty());
+  EXPECT_TRUE(std::is_sorted(alpha_done.begin(), alpha_done.end()));
+  EXPECT_LT(alpha_done.back(), 12u);
+  // Finalized campaigns leave the table - a drained scheduler shows
+  // nothing in flight.
+  EXPECT_TRUE(scheduler.progress().empty());
+}
+
 }  // namespace

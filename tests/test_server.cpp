@@ -12,6 +12,7 @@
 
 #include <atomic>
 #include <bit>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -25,6 +26,7 @@
 #include "netlist/verilog.hpp"
 #include "obs/obs.hpp"
 #include "server/client.hpp"
+#include "server/flight_recorder.hpp"
 #include "server/server.hpp"
 #include "techlib/techlib.hpp"
 #include "tvla/tvla.hpp"
@@ -773,6 +775,265 @@ TEST_F(ServerTest, StreamingAuditMatchesOfflineEarlyStop) {
   EXPECT_EQ(reply.early_stopped, offline.early_stopped());
   expect_reports_bit_identical(reply.report, offline);
 
+  daemon->request_stop();
+  daemon->wait();
+}
+
+// --- live-operations status: codec, recorder, end-to-end --------------------
+
+TEST(ServeProtocol, StatusRequestRoundTripsAndKindsHaveNames) {
+  serialize::Reader in(server::encode_status_request());
+  EXPECT_EQ(server::decode_request_kind(in), server::RequestKind::kStatus);
+  EXPECT_STREQ(server::request_kind_name(server::RequestKind::kStatus),
+               "status");
+  EXPECT_STREQ(server::request_kind_name(server::RequestKind::kAudit),
+               "audit");
+  EXPECT_STREQ(server::request_kind_name(server::RequestKind::kPing), "ping");
+}
+
+TEST(ServeProtocol, StatusReplyRoundTripsAllThreeTables) {
+  server::StatusReply reply;
+  reply.model_name = "adaboost";
+  reply.requests_served = 42;
+  reply.connections_active = 2;
+  reply.connections_total = 9;
+  reply.uptime_ms = 123456;
+  reply.sample_interval_ms = 1000;
+  reply.samples = 123;
+  {
+    server::InflightEntry entry;
+    entry.kind = static_cast<std::uint8_t>(server::RequestKind::kAudit);
+    entry.bytes = 1024;
+    entry.age_us = 250000;
+    reply.inflight.push_back(entry);
+  }
+  {
+    engine::CampaignProgress row;
+    row.label = "des3";
+    row.sequence = 7;
+    row.shards_done = 5;
+    row.shards_total = 12;
+    row.queue_position = 1;
+    row.age_us = 99;
+    row.stopped = true;
+    reply.campaigns.push_back(row);
+    row.label = "";  // unnamed campaigns stay representable
+    row.stopped = false;
+    reply.campaigns.push_back(row);
+  }
+  {
+    server::FlightRecordEntry record;
+    record.kind = static_cast<std::uint8_t>(server::RequestKind::kMask);
+    record.status = static_cast<std::uint8_t>(server::Status::kOk);
+    record.cache_hit = true;
+    record.bytes = 77;
+    record.duration_us = 4321;
+    record.age_us = 5;
+    reply.recent.push_back(record);
+  }
+
+  const auto back =
+      server::decode_status_reply(server::encode_status_reply(reply));
+  EXPECT_EQ(back.protocol, server::kProtocolVersion);
+  EXPECT_EQ(back.model_name, "adaboost");
+  EXPECT_EQ(back.requests_served, 42u);
+  EXPECT_EQ(back.connections_active, 2u);
+  EXPECT_EQ(back.connections_total, 9u);
+  EXPECT_EQ(back.uptime_ms, 123456u);
+  EXPECT_EQ(back.sample_interval_ms, 1000u);
+  EXPECT_EQ(back.samples, 123u);
+  ASSERT_EQ(back.inflight.size(), 1u);
+  EXPECT_EQ(back.inflight[0].kind,
+            static_cast<std::uint8_t>(server::RequestKind::kAudit));
+  EXPECT_EQ(back.inflight[0].bytes, 1024u);
+  EXPECT_EQ(back.inflight[0].age_us, 250000u);
+  ASSERT_EQ(back.campaigns.size(), 2u);
+  EXPECT_EQ(back.campaigns[0].label, "des3");
+  EXPECT_EQ(back.campaigns[0].sequence, 7u);
+  EXPECT_EQ(back.campaigns[0].shards_done, 5u);
+  EXPECT_EQ(back.campaigns[0].shards_total, 12u);
+  EXPECT_EQ(back.campaigns[0].queue_position, 1u);
+  EXPECT_EQ(back.campaigns[0].age_us, 99u);
+  EXPECT_TRUE(back.campaigns[0].stopped);
+  EXPECT_EQ(back.campaigns[1].label, "");
+  EXPECT_FALSE(back.campaigns[1].stopped);
+  ASSERT_EQ(back.recent.size(), 1u);
+  EXPECT_EQ(back.recent[0].kind,
+            static_cast<std::uint8_t>(server::RequestKind::kMask));
+  EXPECT_EQ(back.recent[0].status,
+            static_cast<std::uint8_t>(server::Status::kOk));
+  EXPECT_TRUE(back.recent[0].cache_hit);
+  EXPECT_EQ(back.recent[0].bytes, 77u);
+  EXPECT_EQ(back.recent[0].duration_us, 4321u);
+  EXPECT_EQ(back.recent[0].age_us, 5u);
+}
+
+TEST(ServeProtocol, EveryTruncatedStatusReplyPrefixFailsCleanly) {
+  // The serialize truncation-sweep idiom, applied to the status body: a
+  // torn or hostile reply must throw from the decoder, never crash or
+  // hand back a half-parsed table.
+  server::StatusReply reply;
+  reply.model_name = "m";
+  server::InflightEntry entry;
+  entry.kind = 1;
+  entry.bytes = 10;
+  reply.inflight.push_back(entry);
+  engine::CampaignProgress row;
+  row.label = "c";
+  row.shards_total = 4;
+  reply.campaigns.push_back(row);
+  server::FlightRecordEntry record;
+  record.kind = 2;
+  reply.recent.push_back(record);
+  const auto body = server::encode_status_reply(reply);
+
+  for (std::size_t keep = 0; keep < body.size(); ++keep) {
+    const std::span<const std::uint8_t> prefix(body.data(), keep);
+    EXPECT_THROW((void)server::decode_status_reply(prefix),
+                 std::runtime_error)
+        << "prefix of " << keep << " bytes parsed";
+  }
+  // The untruncated body still decodes: the sweep failed for the right
+  // reason.
+  EXPECT_EQ(server::decode_status_reply(body).model_name, "m");
+}
+
+TEST(FlightRecorder, RingEvictsOldestAndListsNewestFirst) {
+  server::FlightRecorder recorder(3);
+  EXPECT_EQ(recorder.capacity(), 3u);
+  EXPECT_TRUE(recorder.recent().empty());
+  for (std::uint8_t i = 0; i < 5; ++i) {
+    server::FlightRecorder::Record record;
+    record.kind = i;
+    record.bytes = 10u * i;
+    recorder.record(record, "ping");
+  }
+  EXPECT_EQ(recorder.total_recorded(), 5u);
+  const auto recent = recorder.recent();
+  ASSERT_EQ(recent.size(), 3u);
+  EXPECT_EQ(recent[0].kind, 4);  // newest first
+  EXPECT_EQ(recent[1].kind, 3);
+  EXPECT_EQ(recent[2].kind, 2);
+  EXPECT_EQ(recent[0].bytes, 40u);
+}
+
+TEST(FlightRecorder, SlowThresholdCountsOnlySlowRequests) {
+  auto& slow = obs::Registry::global().counter("server.slow_requests");
+  const std::uint64_t before = slow.value();
+  server::FlightRecorder recorder(8, /*slow_threshold_us=*/1000);
+  server::FlightRecorder::Record record;
+  record.kind = 1;
+  record.duration_us = 999;  // under threshold: silent
+  recorder.record(record, "audit");
+  EXPECT_EQ(slow.value(), before);
+  record.duration_us = 1000;  // at threshold: logged + counted
+  recorder.record(record, "audit");
+  EXPECT_EQ(slow.value(), before + 1);
+  // Threshold 0 disables the slow path entirely.
+  server::FlightRecorder quiet(8, 0);
+  record.duration_us = 1u << 30;
+  quiet.record(record, "audit");
+  EXPECT_EQ(slow.value(), before + 1);
+}
+
+TEST_F(ServerTest, StatusReportsInflightCampaignsAndFlightRecorder) {
+  auto daemon = make_server(1);  // serial scheduler: the audit takes a while
+
+  server::Client poll(daemon->socket_path());
+  const std::uint64_t hits_before =
+      poll.stats().snapshot.counter_value("cache.hits");
+
+  core::PolarisConfig config = audit_config();
+  config.tvla.traces = 4096;  // long enough to observe mid-flight
+  server::AuditRequest request;
+  request.design = "des3";
+  request.scale = 0.3;
+  request.config = config;
+
+  std::thread audit_thread([&daemon, &request] {
+    server::Client client(daemon->socket_path());
+    const auto reply = client.audit(request);
+    EXPECT_FALSE(reply.cache_hit);
+  });
+
+  // Poll from a second connection: the audit must show up both as an
+  // in-flight request and as a named campaign with monotonic shard
+  // progress.
+  bool saw_inflight_audit = false;
+  bool saw_campaign = false;
+  std::uint64_t last_done = 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (!(saw_inflight_audit && saw_campaign) &&
+         std::chrono::steady_clock::now() < deadline) {
+    const auto status = poll.status();
+    EXPECT_EQ(status.protocol, server::kProtocolVersion);
+    EXPECT_GE(status.connections_active, 1u);
+    for (const auto& entry : status.inflight) {
+      if (entry.kind ==
+          static_cast<std::uint8_t>(server::RequestKind::kAudit)) {
+        saw_inflight_audit = true;
+        EXPECT_GT(entry.bytes, 0u);
+      }
+    }
+    for (const auto& row : status.campaigns) {
+      if (row.label != "des3") continue;
+      saw_campaign = true;
+      EXPECT_FALSE(row.stopped);
+      EXPECT_LE(row.shards_done, row.shards_total);
+      EXPECT_GE(row.shards_done, last_done);  // monotonic across polls
+      last_done = row.shards_done;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  audit_thread.join();
+  EXPECT_TRUE(saw_inflight_audit);
+  EXPECT_TRUE(saw_campaign);
+
+  // Identical second request: a cache hit, recorded as such.
+  {
+    server::Client client(daemon->socket_path());
+    EXPECT_TRUE(client.audit(request).cache_hit);
+  }
+
+  // The flight recorder must hold both completed audits - one miss (with
+  // real compute time) and one hit - and its cache_hit flags must agree
+  // with the cache.hits counter delta over the same window. The record is
+  // deposited after the reply frame is written, so a client can briefly
+  // outrun its own record: poll until both appear.
+  bool miss_recorded = false;
+  bool hit_recorded = false;
+  while (!(miss_recorded && hit_recorded) &&
+         std::chrono::steady_clock::now() < deadline) {
+    miss_recorded = hit_recorded = false;
+    for (const auto& record : poll.status().recent) {
+      if (record.kind !=
+          static_cast<std::uint8_t>(server::RequestKind::kAudit)) {
+        continue;
+      }
+      EXPECT_EQ(record.status, static_cast<std::uint8_t>(server::Status::kOk));
+      EXPECT_GT(record.bytes, 0u);
+      if (record.cache_hit) {
+        hit_recorded = true;
+      } else {
+        miss_recorded = true;
+        EXPECT_GT(record.duration_us, 0u);
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(miss_recorded);
+  EXPECT_TRUE(hit_recorded);
+  const std::uint64_t hits_after =
+      poll.stats().snapshot.counter_value("cache.hits");
+  EXPECT_EQ(hits_after - hits_before, 1u);
+
+  // The table drains with the work: nothing in flight once the audits are
+  // done and this status round-trip is the only live request.
+  EXPECT_TRUE(poll.status().campaigns.empty());
+
+  // Uptime flows through stats too (appended STTS field).
+  EXPECT_GT(poll.stats().uptime_ms + 1, 0u);  // present and decodable
   daemon->request_stop();
   daemon->wait();
 }

@@ -1,0 +1,206 @@
+// obs metrics time-series: ring semantics, exact interval deltas via
+// snapshot subtraction, the background sampler (including its metrics
+// file), and the PR contract that sampling never perturbs results.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "circuits/arith.hpp"
+#include "obs/obs.hpp"
+#include "obs/timeseries.hpp"
+#include "techlib/techlib.hpp"
+#include "tvla/tvla.hpp"
+
+namespace {
+
+using namespace polaris;
+
+TEST(TimeSeries, RingWrapEvictsOldestKeepsNewest) {
+  obs::TimeSeries series(3);
+  EXPECT_EQ(series.capacity(), 3u);
+  EXPECT_TRUE(series.recent(5).empty());
+
+  for (std::int64_t i = 0; i < 5; ++i) {
+    obs::TimePoint point;
+    point.wall_ms = i;
+    point.mono_ns = i * 1000;
+    series.push(point);
+  }
+  EXPECT_EQ(series.size(), 3u);
+  EXPECT_EQ(series.total_pushed(), 5u);
+
+  // Oldest-first over the surviving window {2, 3, 4}.
+  const auto all = series.recent(10);
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].wall_ms, 2);
+  EXPECT_EQ(all[1].wall_ms, 3);
+  EXPECT_EQ(all[2].wall_ms, 4);
+
+  // recent(2) is exactly the (earlier, later) pair subtraction wants.
+  const auto pair = series.recent(2);
+  ASSERT_EQ(pair.size(), 2u);
+  EXPECT_EQ(pair[0].wall_ms, 3);
+  EXPECT_EQ(pair[1].wall_ms, 4);
+}
+
+TEST(TimeSeries, ZeroCapacityClampsToOne) {
+  obs::TimeSeries series(0);
+  EXPECT_EQ(series.capacity(), 1u);
+  obs::TimePoint point;
+  point.wall_ms = 7;
+  series.push(point);
+  point.wall_ms = 8;
+  series.push(point);
+  const auto window = series.recent(4);
+  ASSERT_EQ(window.size(), 1u);
+  EXPECT_EQ(window[0].wall_ms, 8);
+}
+
+TEST(TimeSeries, ConsecutiveSampleSubtractionIsExactIntervalDelta) {
+  // The rate math `client top` and the metrics file rely on: subtracting
+  // consecutive ring snapshots yields EXACTLY the records of the interval,
+  // identical to a registry that only ever saw those records.
+  obs::Registry registry;
+  auto& requests = registry.counter("req");
+  auto& latency = registry.histogram("lat_us");
+  requests.add(5);
+  latency.record(10);
+
+  obs::TimeSeries series(4);
+  series.push({1000, 1'000'000, registry.snapshot()});
+  requests.add(7);
+  latency.record(10);
+  latency.record(500);
+  series.push({2000, 2'000'000, registry.snapshot()});
+
+  const auto window = series.recent(2);
+  ASSERT_EQ(window.size(), 2u);
+  obs::Snapshot delta = window[1].snapshot;
+  delta.subtract(window[0].snapshot);
+
+  EXPECT_EQ(delta.counter_value("req"), 7u);
+  const auto* hist = delta.find_histogram("lat_us");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, 2u);
+  EXPECT_EQ(hist->sum, 510u);
+
+  // Hand-computed reference: a registry that recorded ONLY the second
+  // interval's samples produces the identical sparse bucket layout.
+  obs::Registry interval_only;
+  interval_only.counter("req").add(7);
+  interval_only.histogram("lat_us").record(10);
+  interval_only.histogram("lat_us").record(500);
+  const auto expected = interval_only.snapshot();
+  EXPECT_EQ(hist->buckets, expected.histograms[0].buckets);
+  EXPECT_EQ(delta.counters[0].value, expected.counters[0].value);
+}
+
+TEST(TimeSeriesSampler, CollectsSamplesAndAppendsJsonDeltaLines) {
+  obs::Registry registry;
+  registry.counter("work.items").add(3);
+  const std::string path =
+      ::testing::TempDir() + "polaris_metrics_test.jsonl";
+  std::remove(path.c_str());
+  {
+    obs::Sampler::Options options;
+    options.interval_ms = 5;
+    options.capacity = 8;
+    options.metrics_file = path;
+    obs::Sampler sampler(registry, options);
+    EXPECT_EQ(sampler.interval_ms(), 5u);
+    sampler.start();
+    sampler.start();  // idempotent
+    for (int i = 0; i < 1000 && sampler.series().total_pushed() < 3; ++i) {
+      registry.counter("work.items").add(1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    sampler.stop();
+    sampler.stop();  // idempotent
+    EXPECT_GE(sampler.series().total_pushed(), 3u);
+    EXPECT_GE(sampler.series().size(), 3u);
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    EXPECT_EQ(line.front(), '{') << line;
+    EXPECT_EQ(line.back(), '}') << line;
+    EXPECT_NE(line.find("\"wall_ms\":"), std::string::npos) << line;
+    EXPECT_NE(line.find("\"interval_ms\":"), std::string::npos) << line;
+    EXPECT_NE(line.find("\"counters\""), std::string::npos) << line;
+  }
+  EXPECT_GE(lines, 3u);
+  std::remove(path.c_str());
+}
+
+TEST(TimeSeriesSampler, EmptyRegistrySamplesCleanly) {
+  obs::Registry registry;  // no metrics at all
+  obs::Sampler::Options options;
+  options.interval_ms = 5;
+  options.capacity = 4;
+  obs::Sampler sampler(registry, options);
+  sampler.start();
+  for (int i = 0; i < 1000 && sampler.series().total_pushed() < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  sampler.stop();
+  const auto window = sampler.series().recent(2);
+  ASSERT_GE(window.size(), 2u);
+  EXPECT_TRUE(window[0].snapshot.counters.empty());
+  EXPECT_TRUE(window[0].snapshot.histograms.empty());
+  // Subtracting empty snapshots is a no-op, not a crash.
+  obs::Snapshot delta = window[1].snapshot;
+  delta.subtract(window[0].snapshot);
+  EXPECT_TRUE(delta.counters.empty());
+}
+
+TEST(TimeSeriesSampler, StopBeforeStartAndDestructorAreSafe) {
+  obs::Registry registry;
+  obs::Sampler sampler(registry, {});
+  sampler.stop();  // never started: no-op
+  sampler.start();
+  // Destructor stops the thread; leaving scope must not hang or crash.
+}
+
+TEST(TimeSeriesSampler, SamplingLeavesTvlaResultsBitIdentical) {
+  // The PR contract: the sampler only READS the registry, so audits run
+  // with aggressive sampling are bit-identical to unsampled ones at every
+  // thread count.
+  const auto lib = techlib::TechLibrary::default_library();
+  const auto design = circuits::make_multiplier(4);
+  tvla::TvlaConfig config;
+  config.traces = 256;
+  config.seed = 11;
+  config.threads = 1;
+  const auto baseline = tvla::run_fixed_vs_random(design, lib, config);
+
+  obs::Sampler::Options options;
+  options.interval_ms = 1;  // pathological: sample as fast as possible
+  options.capacity = 16;
+  obs::Sampler sampler(obs::Registry::global(), options);
+  sampler.start();
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    tvla::TvlaConfig sampled = config;
+    sampled.threads = threads;
+    const auto report = tvla::run_fixed_vs_random(design, lib, sampled);
+    ASSERT_EQ(report.t_values().size(), baseline.t_values().size());
+    EXPECT_EQ(report.t_values(), baseline.t_values()) << threads << " threads";
+    EXPECT_EQ(report.leaky_count(), baseline.leaky_count());
+  }
+  // The audits above may finish inside the first sample interval; wait for
+  // the sampler to demonstrably run before asserting it did.
+  for (int i = 0; i < 1000 && sampler.series().total_pushed() < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  sampler.stop();
+  EXPECT_GE(sampler.series().total_pushed(), 1u);
+}
+
+}  // namespace

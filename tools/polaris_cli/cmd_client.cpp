@@ -8,6 +8,7 @@
 // Exit codes match the offline commands: 0 success, 1 runtime/server
 // failure, 2 bad usage.
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -15,6 +16,7 @@
 #include <thread>
 
 #include "cli.hpp"
+#include "obs/obs.hpp"
 #include "server/client.hpp"
 #include "util/fileio.hpp"
 #include "util/strings.hpp"
@@ -49,8 +51,15 @@ int client_stats(const ParsedFlags& flags) {
   const auto reply = client.stats();
   if (flags.has("prom")) {
     // Prometheus text exposition; scrape-ready via `curl --unix-socket`-
-    // style bridges or a sidecar that shells out to this verb.
-    std::fputs(reply.snapshot.prometheus("polaris_").c_str(), stdout);
+    // style bridges or a sidecar that shells out to this verb. The info
+    // gauges describe the DAEMON process (its build, its uptime), not this
+    // short-lived CLI.
+    obs::Snapshot::ProcessInfo info;
+    info.build_type = reply.build_type;
+    info.simd = reply.simd;
+    info.lane_words = reply.lane_words;
+    info.uptime_seconds = static_cast<double>(reply.uptime_ms) / 1000.0;
+    std::fputs(reply.snapshot.prometheus("polaris_", &info).c_str(), stdout);
     return 0;
   }
   std::printf("{\"server\":\"polaris\",\"protocol\":%u,\"model\":\"%s\","
@@ -64,6 +73,196 @@ int client_stats(const ParsedFlags& flags) {
               static_cast<unsigned long long>(reply.requests_served),
               static_cast<unsigned long long>(reply.connections),
               reply.snapshot.json_fragment().c_str());
+  return 0;
+}
+
+const char* wire_kind_name(std::uint8_t kind) {
+  // 0xFF (an undecodable payload's flight record) falls through to "?".
+  return server::request_kind_name(static_cast<server::RequestKind>(kind));
+}
+
+std::string render_status_json(const server::StatusReply& reply) {
+  std::string out;
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "{\"server\":\"polaris\",\"protocol\":%u,\"model\":\"%s\","
+                "\"requests\":%llu,\"connections_active\":%llu,"
+                "\"connections_total\":%llu,\"uptime_ms\":%llu,"
+                "\"sample_interval_ms\":%llu,\"samples\":%llu,",
+                reply.protocol, json_escape(reply.model_name).c_str(),
+                static_cast<unsigned long long>(reply.requests_served),
+                static_cast<unsigned long long>(reply.connections_active),
+                static_cast<unsigned long long>(reply.connections_total),
+                static_cast<unsigned long long>(reply.uptime_ms),
+                static_cast<unsigned long long>(reply.sample_interval_ms),
+                static_cast<unsigned long long>(reply.samples));
+  out += buffer;
+  out += "\"inflight\":[";
+  for (std::size_t i = 0; i < reply.inflight.size(); ++i) {
+    const auto& entry = reply.inflight[i];
+    std::snprintf(buffer, sizeof(buffer),
+                  "%s{\"kind\":\"%s\",\"bytes\":%llu,\"age_us\":%llu}",
+                  i == 0 ? "" : ",", wire_kind_name(entry.kind),
+                  static_cast<unsigned long long>(entry.bytes),
+                  static_cast<unsigned long long>(entry.age_us));
+    out += buffer;
+  }
+  out += "],\"campaigns\":[";
+  for (std::size_t i = 0; i < reply.campaigns.size(); ++i) {
+    const auto& row = reply.campaigns[i];
+    std::snprintf(buffer, sizeof(buffer),
+                  "%s{\"label\":\"%s\",\"sequence\":%llu,\"shards_done\":%zu,"
+                  "\"shards_total\":%zu,\"queue_position\":%zu,"
+                  "\"age_us\":%llu,\"stopped\":%s}",
+                  i == 0 ? "" : ",", json_escape(row.label).c_str(),
+                  static_cast<unsigned long long>(row.sequence),
+                  row.shards_done, row.shards_total, row.queue_position,
+                  static_cast<unsigned long long>(row.age_us),
+                  row.stopped ? "true" : "false");
+    out += buffer;
+  }
+  out += "],\"recent\":[";
+  for (std::size_t i = 0; i < reply.recent.size(); ++i) {
+    const auto& record = reply.recent[i];
+    std::snprintf(
+        buffer, sizeof(buffer),
+        "%s{\"kind\":\"%s\",\"status\":\"%s\",\"cache_hit\":%s,"
+        "\"bytes\":%llu,\"duration_us\":%llu,\"age_us\":%llu}",
+        i == 0 ? "" : ",", wire_kind_name(record.kind),
+        server::to_string(static_cast<server::Status>(record.status)),
+        record.cache_hit ? "true" : "false",
+        static_cast<unsigned long long>(record.bytes),
+        static_cast<unsigned long long>(record.duration_us),
+        static_cast<unsigned long long>(record.age_us));
+    out += buffer;
+  }
+  out += "]}";
+  return out;
+}
+
+void render_status_tables(const server::StatusReply& reply) {
+  std::printf("=== polaris daemon: %s ===\n", reply.model_name.c_str());
+  std::printf(
+      "uptime %.1fs, %llu requests, %llu/%llu connections active, "
+      "%llu metric samples (every %llums)\n",
+      static_cast<double>(reply.uptime_ms) / 1000.0,
+      static_cast<unsigned long long>(reply.requests_served),
+      static_cast<unsigned long long>(reply.connections_active),
+      static_cast<unsigned long long>(reply.connections_total),
+      static_cast<unsigned long long>(reply.samples),
+      static_cast<unsigned long long>(reply.sample_interval_ms));
+  std::printf("\nin-flight requests (%zu):\n", reply.inflight.size());
+  if (!reply.inflight.empty()) {
+    util::Table table({"Kind", "Bytes", "Age (ms)"});
+    for (const auto& entry : reply.inflight) {
+      table.add_row({wire_kind_name(entry.kind), std::to_string(entry.bytes),
+                     util::format_double(
+                         static_cast<double>(entry.age_us) / 1000.0, 1)});
+    }
+    std::fputs(table.render().c_str(), stdout);
+  }
+  std::printf("\nactive campaigns (%zu):\n", reply.campaigns.size());
+  if (!reply.campaigns.empty()) {
+    util::Table table(
+        {"Label", "Seq", "Shards", "Queue", "Age (ms)", "Stopped"});
+    for (const auto& row : reply.campaigns) {
+      table.add_row(
+          {row.label.empty() ? "(unnamed)" : row.label,
+           std::to_string(row.sequence),
+           std::to_string(row.shards_done) + "/" +
+               std::to_string(row.shards_total),
+           std::to_string(row.queue_position),
+           util::format_double(static_cast<double>(row.age_us) / 1000.0, 1),
+           row.stopped ? "yes" : "no"});
+    }
+    std::fputs(table.render().c_str(), stdout);
+  }
+  std::printf("\nrecent requests (%zu, newest first):\n", reply.recent.size());
+  if (!reply.recent.empty()) {
+    util::Table table(
+        {"Kind", "Status", "Cache", "Bytes", "Took (ms)", "Age (ms)"});
+    for (const auto& record : reply.recent) {
+      table.add_row(
+          {wire_kind_name(record.kind),
+           server::to_string(static_cast<server::Status>(record.status)),
+           record.cache_hit ? "hit" : "miss", std::to_string(record.bytes),
+           util::format_double(
+               static_cast<double>(record.duration_us) / 1000.0, 1),
+           util::format_double(
+               static_cast<double>(record.age_us) / 1000.0, 1)});
+    }
+    std::fputs(table.render().c_str(), stdout);
+  }
+}
+
+int client_status(const ParsedFlags& flags) {
+  server::Client client(flags.require("socket"));
+  const auto reply = client.status();
+  if (flags.has("table")) {
+    render_status_tables(reply);
+  } else {
+    std::printf("%s\n", render_status_json(reply).c_str());
+  }
+  return 0;
+}
+
+int client_top(const ParsedFlags& flags) {
+  const double interval_s = flags.get_double("interval", 2.0);
+  if (!(interval_s > 0.0)) {
+    throw UsageError("flag '--interval' must be a positive number of seconds");
+  }
+  const std::size_t count = flags.get_size("count", 5);
+
+  server::Client client(flags.require("socket"));
+  auto previous = client.stats();
+  std::int64_t previous_ns = obs::now_ns();
+  std::printf("polaris top: %s (interval %.1fs, %zu samples)\n",
+              previous.model_name.c_str(), interval_s, count);
+  std::printf("%-14s %9s %12s %6s %9s %9s %9s %10s\n", "time", "req/s",
+              "traces/s", "hit%", "p50(ms)", "p95(ms)", "inflight",
+              "campaigns");
+  for (std::size_t i = 0; i < count; ++i) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(interval_s));
+    auto current = client.stats();
+    const auto status = client.status();
+    const std::int64_t now_ns = obs::now_ns();
+    const double elapsed =
+        static_cast<double>(now_ns - previous_ns) / 1e9;
+
+    // Interval deltas via snapshot subtraction - exact, not an estimator:
+    // the delta histogram is precisely the samples recorded this interval.
+    obs::Snapshot delta = current.snapshot;
+    delta.subtract(previous.snapshot);
+    const double requests_rate =
+        static_cast<double>(current.requests_served -
+                            previous.requests_served) /
+        elapsed;
+    const double traces_rate =
+        static_cast<double>(delta.counter_value("tvla.traces_run")) / elapsed;
+    const std::uint64_t hits = delta.counter_value("cache.hits");
+    const std::uint64_t misses = delta.counter_value("cache.misses");
+    const double hit_pct =
+        hits + misses == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(hits) /
+                  static_cast<double>(hits + misses);
+    double p50_ms = 0.0;
+    double p95_ms = 0.0;
+    if (const auto* audit_us = delta.find_histogram("server.audit_us");
+        audit_us != nullptr && audit_us->count > 0) {
+      p50_ms = audit_us->percentile(0.50) / 1000.0;
+      p95_ms = audit_us->percentile(0.95) / 1000.0;
+    }
+    // HH:MM:SS.mmm of the ISO-8601 UTC timestamp - enough to line samples
+    // up against the daemon's log lines.
+    const std::string stamp = obs::wall_clock_iso8601().substr(11, 12);
+    std::printf("%-14s %9.1f %12.0f %6.1f %9.2f %9.2f %9zu %10zu\n",
+                stamp.c_str(), requests_rate, traces_rate, hit_pct, p50_ms,
+                p95_ms, status.inflight.size(), status.campaigns.size());
+    std::fflush(stdout);
+    previous = std::move(current);
+    previous_ns = now_ns;
+  }
   return 0;
 }
 
@@ -257,6 +456,9 @@ int cmd_client(std::span<const char* const> args) {
         "verbs (each '--help' lists its flags):\n"
         "  ping      daemon liveness, bundle identity, cache stats (JSON)\n"
         "  stats     daemon observability snapshot (JSON, or --prom text)\n"
+        "  status    live operations: in-flight requests, campaign\n"
+        "            progress, recent-request flight recorder\n"
+        "  top       repeated stats+status polls with interval rates\n"
         "  audit     TVLA leakage report, served (same output as 'audit')\n"
         "  mask      masked Verilog, served (same output as 'mask')\n"
         "  score     per-gate masking scores from the served model\n"
@@ -294,6 +496,37 @@ int cmd_client(std::span<const char* const> args) {
       return 0;
     }
     return client_stats(flags);
+  }
+  if (verb == "status") {
+    const std::vector<FlagSpec> specs = {
+        socket_spec,
+        {"table", false, "human-readable tables instead of JSON"},
+        help_spec,
+    };
+    const ParsedFlags flags(rest, specs);
+    if (flags.has("help")) {
+      std::printf("usage: polaris_cli client status --socket <path.sock> "
+                  "[--table]\n\n%s",
+                  render_flag_help(specs).c_str());
+      return 0;
+    }
+    return client_status(flags);
+  }
+  if (verb == "top") {
+    const std::vector<FlagSpec> specs = {
+        socket_spec,
+        {"interval", true, "seconds between samples (default 2.0)"},
+        {"count", true, "samples to print before exiting (default 5)"},
+        help_spec,
+    };
+    const ParsedFlags flags(rest, specs);
+    if (flags.has("help")) {
+      std::printf("usage: polaris_cli client top --socket <path.sock> "
+                  "[--interval S] [--count N]\n\n%s",
+                  render_flag_help(specs).c_str());
+      return 0;
+    }
+    return client_top(flags);
   }
   if (verb == "audit") {
     std::vector<FlagSpec> specs = config_flag_specs();
@@ -360,7 +593,8 @@ int cmd_client(std::span<const char* const> args) {
     return client_score(flags);
   }
   throw UsageError("unknown client verb '" + verb +
-                   "'; expected ping, stats, audit, mask, score, or shutdown");
+                   "'; expected ping, stats, status, top, audit, mask, "
+                   "score, or shutdown");
 }
 
 }  // namespace polaris::cli
