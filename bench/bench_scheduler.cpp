@@ -19,6 +19,8 @@
 
 #include "bench_common.hpp"
 #include "engine/scheduler.hpp"
+#include "server/remote.hpp"
+#include "server/worker.hpp"
 #include "sim/compiled.hpp"
 #include "tvla/tvla.hpp"
 #include "util/timer.hpp"
@@ -171,5 +173,91 @@ int main() {
              1);
   bench::append_obs_counters(line, {"sched.campaigns", "sched.shards"})
       .print();
-  return mismatched == 0 ? 0 : 1;
+
+  // --- distributed: coordinator + loopback TCP shard workers ------------
+  // The same suite audited through the WorkerPool (the `audit --workers`
+  // path) under ONE uniform config, with a single local lane so added
+  // workers are the only scaling axis. Workers are real TCP servers on
+  // loopback ephemeral ports - the full wire path (design install, shard
+  // requests, moments replies, ascending merge replay), just without the
+  // network between hosts. Every row is verified bit-identical to the
+  // zero-worker run before it is reported.
+  std::printf("\n=== Distributed suite audit: local lane + N workers ===\n\n");
+  core::PolarisConfig dist_config;
+  dist_config.tvla.traces = setup.traces;
+  dist_config.tvla.noise_std_fj = 1.0;
+  dist_config.tvla.seed = setup.seed;
+  dist_config.seed = setup.seed;
+  dist_config.threads = 1;
+
+  std::vector<tvla::LeakageReport> local_reports;
+  double local_seconds = 0.0;
+  {
+    server::WorkerPoolOptions options;
+    options.local_threads = 1;
+    server::WorkerPool pool(options);
+    util::Timer timer;
+    local_reports = pool.audit(designs, setup.lib, dist_config);
+    local_seconds = timer.seconds();
+  }
+  const std::size_t dist_traces = setup.traces * n;
+  std::printf("%-10s %10s %10s %9s %11s %8s\n", "workers", "seconds",
+              "traces/s", "speedup", "moments_in", "resends");
+  std::printf("%-10s %10.3f %10.0f %9s %11s %8s\n", "0 (base)", local_seconds,
+              static_cast<double>(dist_traces) / local_seconds, "1.00x", "-",
+              "-");
+
+  std::size_t dist_mismatched = 0;
+  for (const std::size_t worker_count : {2u, 4u}) {
+    std::vector<std::unique_ptr<server::Worker>> fleet;
+    server::WorkerPoolOptions options;
+    options.local_threads = 1;
+    for (std::size_t w = 0; w < worker_count; ++w) {
+      server::WorkerOptions worker_options;
+      worker_options.listen = "tcp:127.0.0.1:0";
+      worker_options.threads = 1;
+      fleet.push_back(std::make_unique<server::Worker>(worker_options));
+      fleet.back()->start();
+      if (!options.workers.empty()) options.workers += ",";
+      options.workers += server::net::to_string(fleet.back()->endpoint());
+    }
+    server::WorkerPool pool(options);
+    util::Timer timer;
+    const auto reports = pool.audit(designs, setup.lib, dist_config);
+    const double seconds = timer.seconds();
+    for (auto& worker : fleet) {
+      worker->request_stop();
+      worker->wait();
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+      if (reports[i].t_values() != local_reports[i].t_values()) {
+        ++dist_mismatched;
+        break;
+      }
+    }
+    const auto totals = pool.totals();
+    const double speedup = seconds > 0.0 ? local_seconds / seconds : 0.0;
+    std::printf("%-10zu %10.3f %10.0f %8.2fx %11llu %8llu\n", worker_count,
+                seconds, static_cast<double>(dist_traces) / seconds, speedup,
+                static_cast<unsigned long long>(totals.moments_in),
+                static_cast<unsigned long long>(totals.resends));
+
+    bench::JsonLine dist_line("scheduler_distributed");
+    dist_line.field("designs", n)
+        .field("workers", worker_count)
+        .field("total_traces", dist_traces)
+        .field("local_seconds", local_seconds)
+        .field("distributed_seconds", seconds)
+        .field("speedup", speedup)
+        .field("moments_in", totals.moments_in)
+        .field("resends", totals.resends)
+        .field("bytes", totals.bytes);
+    dist_line.print();
+  }
+  std::printf("\nbit-identical distributed reports: %s\n",
+              dist_mismatched == 0 ? "yes (all campaigns)"
+                                   : "NO - DETERMINISM BUG");
+
+  return mismatched == 0 && dist_mismatched == 0 ? 0 : 1;
 }

@@ -1,0 +1,26 @@
+// Exact binary archive bindings for a Netlist - how a coordinator ships a
+// design to a remote shard worker (DESIGN.md "Distributed execution").
+//
+// The structural-Verilog writer (netlist/verilog.hpp) is the human-facing
+// serialization; this codec is the machine-facing one: it preserves net
+// names, gate order, group ids, and the primary input/output lists
+// verbatim, so the reconstructed netlist compiles to the same simulation
+// plan and hashes to the same design_fingerprint as the original. Gate ids
+// round-trip because every construction path appends gates in ascending
+// GateId order (a netlist invariant).
+#pragma once
+
+#include "netlist/netlist.hpp"
+#include "serialize/archive.hpp"
+
+namespace polaris::netlist {
+
+/// Writes one "NETL" chunk holding the full netlist.
+void write_netlist(serialize::Writer& out, const Netlist& netlist);
+
+/// Reads one "NETL" chunk and rebuilds the netlist through the normal
+/// construction API (so all structural invariants are re-checked, ending
+/// with validate()). Throws std::runtime_error on malformed input.
+[[nodiscard]] Netlist read_netlist(serialize::Reader& in);
+
+}  // namespace polaris::netlist

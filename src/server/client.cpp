@@ -2,34 +2,42 @@
 
 #include <errno.h>
 #include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
+
+#include "server/net.hpp"
 
 namespace polaris::server {
 
-Client::Client(const std::string& socket_path) {
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
-    throw std::runtime_error("polaris client: bad socket path '" +
-                             socket_path + "'");
-  }
-  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
-  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd_ < 0) {
-    throw std::runtime_error(std::string("polaris client: socket: ") +
-                             std::strerror(errno));
-  }
-  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    const int saved = errno;
-    ::close(fd_);
-    fd_ = -1;
-    throw std::runtime_error("polaris client: cannot connect to '" +
-                             socket_path + "': " + std::strerror(saved) +
-                             " (is the daemon running?)");
+namespace {
+
+/// Socket poll tick while a deadline is armed: every SO_*TIMEO expiry
+/// re-checks the deadline probe, so the timeout resolution is ~100 ms
+/// regardless of how long the configured deadline is.
+constexpr int kClientPollMs = 100;
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Client::Client(const std::string& endpoint, std::size_t timeout_ms)
+    : timeout_ms_(timeout_ms) {
+  fd_ = net::connect_endpoint(net::parse_endpoint(endpoint));
+  if (timeout_ms_ > 0) {
+    // The timeouts make the blocking frame I/O surface EAGAIN every tick,
+    // at which point it consults the deadline probe from arm_deadline().
+    timeval timeout{};
+    timeout.tv_usec = kClientPollMs * 1000;
+    (void)::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &timeout,
+                       sizeof(timeout));
+    (void)::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &timeout,
+                       sizeof(timeout));
   }
 }
 
@@ -37,12 +45,29 @@ Client::~Client() {
   if (fd_ >= 0) ::close(fd_);
 }
 
+CancelProbe Client::arm_deadline() {
+  if (timeout_ms_ == 0) return {};
+  deadline_ns_ = steady_now_ns() +
+                 static_cast<std::int64_t>(timeout_ms_) * 1'000'000;
+  // Throwing from the probe (instead of returning true) surfaces the
+  // structured TimeoutError rather than the generic cancellation message.
+  return [this]() -> bool {
+    if (steady_now_ns() > deadline_ns_) {
+      throw TimeoutError("polaris client: no response within " +
+                         std::to_string(timeout_ms_) + " ms");
+    }
+    return false;
+  };
+}
+
 Response Client::roundtrip(std::span<const std::uint8_t> payload) {
-  write_frame(fd_, payload);
+  const CancelProbe deadline = arm_deadline();
+  write_frame(fd_, payload, deadline);
   std::vector<std::uint8_t> reply;
   // No client-side cap beyond sanity: the server is trusted, but a
   // corrupted stream should still fail cleanly, not allocate unboundedly.
-  const FrameResult result = read_frame(fd_, kDefaultMaxFrame * 4, reply);
+  const FrameResult result =
+      read_frame(fd_, kDefaultMaxFrame * 4, reply, deadline);
   if (result == FrameResult::kClosed) {
     throw std::runtime_error("polaris client: server closed the connection");
   }
@@ -85,12 +110,15 @@ AuditReply Client::audit_stream(
     const std::function<void(const AuditPartial&)>& on_partial) {
   const std::vector<std::uint8_t> payload =
       encode_audit_stream_request(request);
-  write_frame(fd_, payload);
+  write_frame(fd_, payload, arm_deadline());
   // The response is a sequence of kOk frames: zero or more AUDP checkpoint
-  // bodies, terminated by the AUDS reply (or a single error frame).
+  // bodies, terminated by the AUDS reply (or a single error frame). The
+  // deadline re-arms per frame: checkpoints are separated by compute, and
+  // the timeout bounds silence, not total campaign time.
   for (;;) {
     std::vector<std::uint8_t> raw;
-    const FrameResult result = read_frame(fd_, kDefaultMaxFrame * 4, raw);
+    const FrameResult result =
+        read_frame(fd_, kDefaultMaxFrame * 4, raw, arm_deadline());
     if (result == FrameResult::kClosed) {
       throw std::runtime_error("polaris client: server closed the connection");
     }

@@ -3,6 +3,7 @@
 // implementation of the wire contract on the client side.
 #pragma once
 
+#include <cstddef>
 #include <string>
 
 #include "server/protocol.hpp"
@@ -11,9 +12,14 @@ namespace polaris::server {
 
 class Client {
  public:
-  /// Connects to a serving daemon. Throws std::runtime_error when nothing
-  /// listens on `socket_path`.
-  explicit Client(const std::string& socket_path);
+  /// Connects to a serving daemon or shard worker. `endpoint` is an
+  /// endpoint spec (a UDS path or "tcp:host:port"; see server/net.hpp).
+  /// `timeout_ms` > 0 arms a per-call deadline: a call that cannot finish
+  /// its frame I/O within it throws TimeoutError (SO_RCVTIMEO/SO_SNDTIMEO
+  /// make the blocking I/O re-check the deadline every poll tick). 0 means
+  /// block indefinitely, the original behavior. Throws std::runtime_error
+  /// when nothing listens on the endpoint.
+  explicit Client(const std::string& endpoint, std::size_t timeout_ms = 0);
   ~Client();
 
   Client(const Client&) = delete;
@@ -45,8 +51,13 @@ class Client {
 
  private:
   Response roundtrip(std::span<const std::uint8_t> payload);
+  /// Starts a fresh deadline window (one per public call) and returns the
+  /// probe the frame I/O consults; empty when timeouts are disabled.
+  CancelProbe arm_deadline();
 
   int fd_ = -1;
+  std::size_t timeout_ms_ = 0;
+  std::int64_t deadline_ns_ = 0;  // obs::now_ns()-based, 0 = unarmed
 };
 
 }  // namespace polaris::server

@@ -7,6 +7,9 @@
 
 #include <cstring>
 
+#include "netlist/netlist_io.hpp"
+#include "tvla/moments_io.hpp"
+
 namespace polaris::server {
 
 namespace {
@@ -124,6 +127,8 @@ const char* request_kind_name(RequestKind kind) {
     case RequestKind::kStats: return "stats";
     case RequestKind::kAuditStream: return "audit_stream";
     case RequestKind::kStatus: return "status";
+    case RequestKind::kDesign: return "design";
+    case RequestKind::kShard: return "shard";
   }
   return "?";
 }
@@ -138,6 +143,7 @@ const char* to_string(Status status) {
     case Status::kBadRequest: return "bad request";
     case Status::kServerError: return "server error";
     case Status::kShuttingDown: return "server shutting down";
+    case Status::kUnknownDesign: return "design not installed on worker";
   }
   return "?";
 }
@@ -212,7 +218,7 @@ RequestKind decode_request_kind(serialize::Reader& in) {
   in.enter_chunk("POLQ");
   const std::uint8_t kind = in.u8();
   in.exit_chunk();
-  if (kind > static_cast<std::uint8_t>(RequestKind::kStatus)) {
+  if (kind > static_cast<std::uint8_t>(RequestKind::kShard)) {
     throw std::runtime_error("polaris serve: unknown request kind " +
                              std::to_string(kind));
   }
@@ -248,6 +254,80 @@ ScoreRequest decode_score_request(serialize::Reader& in) {
   request.scale = in.f64();
   request.mode = static_cast<core::InferenceMode>(read_mode(in));
   in.exit_chunk();
+  return request;
+}
+
+std::vector<std::uint8_t> encode_design_request(const circuits::Design& design) {
+  auto out = request_header(RequestKind::kDesign);
+  out.begin_chunk("DSGQ");
+  out.u64(core::design_fingerprint(design));
+  out.str(design.name);
+  out.u64(design.roles.size());
+  for (const auto role : design.roles) {
+    out.u8(static_cast<std::uint8_t>(role));
+  }
+  netlist::write_netlist(out, design.netlist);
+  out.end_chunk();
+  return finish_request(out);
+}
+
+DesignRequest decode_design_request(serialize::Reader& in) {
+  DesignRequest request;
+  in.enter_chunk("DSGQ");
+  request.fingerprint = in.u64();
+  request.design.name = in.str();
+  const std::uint64_t role_count = in.u64();
+  if (role_count > in.remaining()) {  // one byte per role
+    throw std::runtime_error("polaris serve: role count exceeds payload");
+  }
+  request.design.roles.reserve(role_count);
+  for (std::uint64_t i = 0; i < role_count; ++i) {
+    const std::uint8_t role = in.u8();
+    if (role > static_cast<std::uint8_t>(circuits::InputRole::kControl)) {
+      throw std::runtime_error("polaris serve: unknown input role " +
+                               std::to_string(role));
+    }
+    request.design.roles.push_back(static_cast<circuits::InputRole>(role));
+  }
+  request.design.netlist = netlist::read_netlist(in);
+  in.exit_chunk();
+  if (request.design.roles.size() !=
+      request.design.netlist.primary_inputs().size()) {
+    throw std::runtime_error("polaris serve: design role count does not "
+                             "match primary input count");
+  }
+  // Content check: the recomputed fingerprint must equal the advertised
+  // one, or a corrupted/mistranslated design would contaminate every shard
+  // result filed under this key.
+  if (core::design_fingerprint(request.design) != request.fingerprint) {
+    throw std::runtime_error("polaris serve: design fingerprint mismatch "
+                             "after decode");
+  }
+  return request;
+}
+
+std::vector<std::uint8_t> encode_shard_request(const ShardRequest& request) {
+  auto out = request_header(RequestKind::kShard);
+  out.begin_chunk("SHRQ");
+  out.u64(request.fingerprint);
+  core::write_config(out, request.config);
+  out.u64(request.shard_begin);
+  out.u64(request.shard_end);
+  out.end_chunk();
+  return finish_request(out);
+}
+
+ShardRequest decode_shard_request(serialize::Reader& in) {
+  ShardRequest request;
+  in.enter_chunk("SHRQ");
+  request.fingerprint = in.u64();
+  request.config = core::read_config(in);
+  request.shard_begin = in.u64();
+  request.shard_end = in.u64();
+  in.exit_chunk();
+  if (request.shard_begin >= request.shard_end) {
+    throw std::runtime_error("polaris serve: empty shard range");
+  }
   return request;
 }
 
@@ -415,6 +495,39 @@ ScoreReply decode_score_reply(std::span<const std::uint8_t> body) {
   return reply;
 }
 
+std::vector<std::uint8_t> encode_shard_reply(const ShardReply& reply) {
+  serialize::Writer out;
+  out.begin_chunk("SHRS");
+  out.u64(reply.shards.size());
+  for (const auto& result : reply.shards) {
+    out.u64(result.shard);
+    tvla::write_moments(out, result.moments);
+  }
+  out.end_chunk();
+  return out.finish();
+}
+
+ShardReply decode_shard_reply(std::span<const std::uint8_t> body) {
+  serialize::Reader in(std::vector<std::uint8_t>(body.begin(), body.end()));
+  in.enter_chunk("SHRS");
+  ShardReply reply;
+  // Check-before-allocate: a shard entry is at least its 8-byte index
+  // plus a MOMS chunk header and counters.
+  const std::uint64_t count = in.u64();
+  if (count > in.remaining() / 16) {
+    throw std::runtime_error("polaris serve: shard count exceeds payload");
+  }
+  reply.shards.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    ShardResult result;
+    result.shard = in.u64();
+    result.moments = tvla::read_moments(in);
+    reply.shards.push_back(std::move(result));
+  }
+  in.exit_chunk();
+  return reply;
+}
+
 std::vector<std::uint8_t> encode_stats_reply(const StatsReply& reply) {
   serialize::Writer out;
   out.begin_chunk("STTS");
@@ -556,6 +669,23 @@ std::vector<std::uint8_t> encode_status_reply(const StatusReply& reply) {
     out.u64(record.age_us);
   }
   out.end_chunk();
+  // Worker-fleet health, as an appended chunk only when a fleet exists:
+  // pre-distributed readers never reach it, pre-distributed writers never
+  // emit it, and workerless daemons stay byte-identical to before.
+  if (!reply.workers.empty()) {
+    out.begin_chunk("WRKR");
+    out.u64(reply.workers.size());
+    for (const auto& worker : reply.workers) {
+      out.str(worker.endpoint);
+      out.boolean(worker.alive);
+      out.u64(worker.inflight);
+      out.u64(worker.shards_done);
+      out.u64(worker.bytes_out);
+      out.u64(worker.bytes_in);
+      out.u64(worker.resends);
+    }
+    out.end_chunk();
+  }
   return out.finish();
 }
 
@@ -628,6 +758,28 @@ StatusReply decode_status_reply(std::span<const std::uint8_t> body) {
     reply.recent.push_back(record);
   }
   in.exit_chunk();
+  if (in.try_enter_chunk("WRKR")) {
+    // A worker row is at least a length-prefixed endpoint, a bool, and
+    // five u64s.
+    const std::uint64_t n_workers = in.u64();
+    if (n_workers > in.remaining() / 49) {
+      throw std::runtime_error("polaris serve: worker count exceeds "
+                               "payload size");
+    }
+    reply.workers.reserve(n_workers);
+    for (std::uint64_t i = 0; i < n_workers; ++i) {
+      WorkerHealthEntry worker;
+      worker.endpoint = in.str();
+      worker.alive = in.boolean();
+      worker.inflight = in.u64();
+      worker.shards_done = in.u64();
+      worker.bytes_out = in.u64();
+      worker.bytes_in = in.u64();
+      worker.resends = in.u64();
+      reply.workers.push_back(std::move(worker));
+    }
+    in.exit_chunk();
+  }
   return reply;
 }
 
@@ -656,7 +808,7 @@ Response decode_response(std::vector<std::uint8_t> payload) {
   Response response;
   in.enter_chunk("POLS");
   const std::uint8_t status = in.u8();
-  if (status > static_cast<std::uint8_t>(Status::kShuttingDown)) {
+  if (status > static_cast<std::uint8_t>(Status::kUnknownDesign)) {
     throw std::runtime_error("polaris serve: unknown status code " +
                              std::to_string(status));
   }

@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "circuits/suite.hpp"
 #include "core/config.hpp"
 #include "core/polaris.hpp"
 #include "engine/scheduler.hpp"
@@ -68,6 +69,15 @@ enum class RequestKind : std::uint8_t {
                 // progress, flight-recorder ring. Pure telemetry, never
                 // cached. Unknown to older servers: kBadPayload, same
                 // append-only contract as kStats - no version bump.
+  kDesign = 8,  // distributed execution: install a netlist + roles under
+                // its design fingerprint in a worker's plan cache, so the
+                // shard requests that follow can reference it by the
+                // 8-byte fingerprint alone. Empty-body kOk ack.
+  kShard = 9,   // distributed execution: run a contiguous shard range of a
+                // TVLA campaign against an installed design; the reply
+                // ships per-shard UNMERGED CampaignMoments so the
+                // coordinator can replay the exact single-host merge
+                // order (bit-identical audits at any worker count).
 };
 
 /// Short lowercase name for a request kind ("ping", "audit", ...), used in
@@ -85,6 +95,9 @@ enum class Status : std::uint8_t {
   kBadRequest = 5,   // well-formed payload, invalid request (bad design...)
   kServerError = 6,  // request failed while executing
   kShuttingDown = 7, // server is draining; request not accepted
+  kUnknownDesign = 8, // kShard named a fingerprint this worker has not
+                      // seen; the coordinator answers by re-sending
+                      // kDesign and retrying the shard request
 };
 
 [[nodiscard]] const char* to_string(Status status);
@@ -97,6 +110,15 @@ struct ServerError : std::runtime_error {
   ServerError(Status status, const std::string& message)
       : std::runtime_error(message), status(status) {}
   Status status;
+};
+
+/// A client-side deadline expired while waiting on the peer (see
+/// Client's timeout_ms option). Distinct from ServerError - the server
+/// never answered, so the request may or may not have executed; callers
+/// that care (the distributed coordinator) catch this type and requeue.
+struct TimeoutError : std::runtime_error {
+  explicit TimeoutError(const std::string& message)
+      : std::runtime_error(message) {}
 };
 
 // --- requests ---------------------------------------------------------------
@@ -121,6 +143,29 @@ struct ScoreRequest {
   std::string design;
   double scale = 1.0;
   core::InferenceMode mode = core::InferenceMode::kModel;
+};
+
+/// Installs a design in a worker's compiled-plan cache. Carries the FULL
+/// netlist (nets, gates, groups, ports) plus per-input roles, keyed by the
+/// same content fingerprint the result cache uses - the worker recomputes
+/// the fingerprint after decoding and rejects a mismatch, so a corrupted
+/// design can never silently contaminate shard results.
+struct DesignRequest {
+  std::uint64_t fingerprint = 0;
+  circuits::Design design;
+};
+
+/// One work unit: run shards [shard_begin, shard_end) of the campaign that
+/// `config` and the installed design `fingerprint` determine. The config
+/// travels in canonical serialized form, which zeroes the host-local
+/// `threads` knob - and lane_words is never serialized at all - so the
+/// work unit pins the RESULT, not the execution strategy: the worker is
+/// free to pick its own thread count and SIMD width.
+struct ShardRequest {
+  std::uint64_t fingerprint = 0;
+  core::PolarisConfig config;
+  std::uint64_t shard_begin = 0;
+  std::uint64_t shard_end = 0;
 };
 
 // --- replies ----------------------------------------------------------------
@@ -180,6 +225,18 @@ struct FlightRecordEntry {
 /// flight-recorder ring, newest first). Point-in-time telemetry gathered
 /// under the scheduler/connection locks - never cached, never part of any
 /// fingerprint or result.
+/// Health of one remote worker as seen by the coordinator's worker pool.
+/// Pure telemetry, same caveats as the rest of the status snapshot.
+struct WorkerHealthEntry {
+  std::string endpoint;          // display form of the worker's endpoint
+  bool alive = true;             // false once the feeder thread gave up
+  std::uint64_t inflight = 0;    // shard chunks sent but not yet answered
+  std::uint64_t shards_done = 0; // shards whose moments arrived
+  std::uint64_t bytes_out = 0;   // request payload bytes shipped
+  std::uint64_t bytes_in = 0;    // moments payload bytes received
+  std::uint64_t resends = 0;     // chunks requeued after loss/timeout
+};
+
 struct StatusReply {
   std::uint32_t protocol = kProtocolVersion;
   std::string model_name;
@@ -192,6 +249,9 @@ struct StatusReply {
   std::vector<InflightEntry> inflight;
   std::vector<engine::CampaignProgress> campaigns;
   std::vector<FlightRecordEntry> recent;  // newest first
+  /// Remote-worker fleet health (appended "WRKR" chunk; empty from
+  /// daemons without --workers and from pre-distributed daemons).
+  std::vector<WorkerHealthEntry> workers;
 };
 
 struct AuditReply {
@@ -235,6 +295,20 @@ struct ScoreReply {
   bool cache_hit = false;
 };
 
+/// One shard's UNMERGED statistics block, exactly as the shard loop
+/// accumulated it. Per-shard moments are a pure function of (design,
+/// config, shard index) - independent of lane width, thread count, and
+/// host - which is what lets the coordinator merge them in ascending
+/// shard order and land on bit-identical audit output.
+struct ShardResult {
+  std::uint64_t shard = 0;
+  tvla::CampaignMoments moments;
+};
+
+struct ShardReply {
+  std::vector<ShardResult> shards;  // ascending shard index
+};
+
 // --- payload codecs ---------------------------------------------------------
 
 /// Request payload archives. decode_request_kind reads the "POLQ" chunk;
@@ -249,11 +323,19 @@ struct ScoreReply {
     const AuditRequest& request);
 [[nodiscard]] std::vector<std::uint8_t> encode_mask_request(const MaskRequest& request);
 [[nodiscard]] std::vector<std::uint8_t> encode_score_request(const ScoreRequest& request);
+/// Design install; the fingerprint is computed from `design` internally so
+/// sender and receiver can never disagree on the key derivation.
+[[nodiscard]] std::vector<std::uint8_t> encode_design_request(
+    const circuits::Design& design);
+[[nodiscard]] std::vector<std::uint8_t> encode_shard_request(
+    const ShardRequest& request);
 
 [[nodiscard]] RequestKind decode_request_kind(serialize::Reader& in);
 [[nodiscard]] AuditRequest decode_audit_request(serialize::Reader& in);
 [[nodiscard]] MaskRequest decode_mask_request(serialize::Reader& in);
 [[nodiscard]] ScoreRequest decode_score_request(serialize::Reader& in);
+[[nodiscard]] DesignRequest decode_design_request(serialize::Reader& in);
+[[nodiscard]] ShardRequest decode_shard_request(serialize::Reader& in);
 
 /// Reply BODY archives (the nested archive the result cache stores).
 [[nodiscard]] std::vector<std::uint8_t> encode_ping_reply(const PingReply& reply);
@@ -278,6 +360,8 @@ struct ScoreReply {
 [[nodiscard]] ScoreReply decode_score_reply(std::span<const std::uint8_t> body);
 [[nodiscard]] StatsReply decode_stats_reply(std::span<const std::uint8_t> body);
 [[nodiscard]] StatusReply decode_status_reply(std::span<const std::uint8_t> body);
+[[nodiscard]] std::vector<std::uint8_t> encode_shard_reply(const ShardReply& reply);
+[[nodiscard]] ShardReply decode_shard_reply(std::span<const std::uint8_t> body);
 
 /// Full response payload: POLS header (status/message/cache_hit) + BODY.
 /// `body` may be empty for error responses and ping-less bodies.

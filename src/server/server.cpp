@@ -3,7 +3,6 @@
 #include <errno.h>
 #include <poll.h>
 #include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -30,18 +29,6 @@ constexpr int kHandlerPollMs = 100;
 /// thread lingers before being reaped.
 constexpr int kAcceptPollMs = 500;
 
-/// True when a daemon is actively listening on `socket_path` (a connect
-/// attempt succeeds). Distinguishes a live socket from a stale file left
-/// by a crashed process.
-bool socket_is_live(const sockaddr_un& addr) {
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) return false;
-  const bool live = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                              sizeof(addr)) == 0;
-  ::close(fd);
-  return live;
-}
-
 std::uint64_t combine_all(std::uint64_t key,
                           std::initializer_list<std::uint64_t> values) {
   for (const auto value : values) key = core::ResultCache::combine(key, value);
@@ -66,6 +53,8 @@ obs::Histogram& request_histogram(RequestKind kind) {
   static auto& stats = registry.histogram("server.stats_us");
   static auto& audit_stream = registry.histogram("server.audit_stream_us");
   static auto& status = registry.histogram("server.status_us");
+  static auto& design = registry.histogram("server.design_us");
+  static auto& shard = registry.histogram("server.shard_us");
   switch (kind) {
     case RequestKind::kPing: return ping;
     case RequestKind::kAudit: return audit;
@@ -75,6 +64,8 @@ obs::Histogram& request_histogram(RequestKind kind) {
     case RequestKind::kStats: return stats;
     case RequestKind::kAuditStream: return audit_stream;
     case RequestKind::kStatus: return status;
+    case RequestKind::kDesign: return design;
+    case RequestKind::kShard: return shard;
   }
   return ping;  // unreachable: decode_request_kind rejects unknown kinds
 }
@@ -96,50 +87,25 @@ Server::Server(ServerOptions options)
   start_mono_ns_ = obs::now_ns();
   start_wall_ms_ = obs::wall_clock_ms();
   polaris_ = core::Polaris::load_bundle(options_.bundle_path, &info_);
+  if (!options_.workers.empty()) {
+    WorkerPoolOptions pool_options;
+    pool_options.workers = options_.workers;
+    pool_options.local_threads = options_.threads;
+    pool_options.max_frame = options_.max_frame;
+    pool_ = std::make_unique<WorkerPool>(std::move(pool_options));
+  }
 
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (options_.socket_path.empty() ||
-      options_.socket_path.size() >= sizeof(addr.sun_path)) {
-    throw std::runtime_error(
-        "polaris serve: socket path must be 1.." +
-        std::to_string(sizeof(addr.sun_path) - 1) + " characters, got '" +
-        options_.socket_path + "'");
-  }
-  std::memcpy(addr.sun_path, options_.socket_path.c_str(),
-              options_.socket_path.size() + 1);
-
-  // Replace a STALE socket file only: silently unlinking a live daemon's
-  // socket would hijack its clients while it keeps running invisibly.
-  if (socket_is_live(addr)) {
-    throw std::runtime_error("polaris serve: a daemon is already serving on '" +
-                             options_.socket_path + "'");
-  }
-  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) throw_errno("socket");
-  ::unlink(options_.socket_path.c_str());
-  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
-             sizeof(addr)) != 0) {
-    const int saved = errno;
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    errno = saved;
-    throw_errno("bind '" + options_.socket_path + "'");
-  }
-  if (::listen(listen_fd_, 64) != 0) {
-    const int saved = errno;
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    ::unlink(options_.socket_path.c_str());
-    errno = saved;
-    throw_errno("listen");
-  }
+  // The endpoint layer handles both transports: UDS with the stale-socket
+  // replacement this daemon always had, TCP with SO_REUSEADDR before bind.
+  const net::Endpoint requested = net::parse_endpoint(options_.socket_path);
+  listen_fd_ = net::listen_endpoint(requested, options_.backlog);
+  endpoint_ = net::bound_endpoint(listen_fd_, requested);
 
   int pipe_fds[2];
   if (::pipe(pipe_fds) != 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
-    ::unlink(options_.socket_path.c_str());
+    net::unlink_if_uds(endpoint_);
     throw_errno("pipe");
   }
   wake_read_fd_ = pipe_fds[0];
@@ -152,7 +118,7 @@ Server::~Server() {
     wait();
   } else if (listen_fd_ >= 0) {
     ::close(listen_fd_);
-    ::unlink(options_.socket_path.c_str());
+    net::unlink_if_uds(endpoint_);
   }
   if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
   if (wake_write_fd_ >= 0) ::close(wake_write_fd_);
@@ -234,7 +200,7 @@ void Server::accept_loop() {
   stopping_.store(true);
   ::close(listen_fd_);
   listen_fd_ = -1;
-  ::unlink(options_.socket_path.c_str());
+  net::unlink_if_uds(endpoint_);
   const std::int64_t drain_start = obs::now_ns();
   std::vector<std::unique_ptr<Connection>> remaining;
   {
@@ -371,6 +337,15 @@ bool Server::handle_payload(int fd, std::vector<std::uint8_t>& payload) {
       case RequestKind::kScore: body = serve_score(in, cache_hit); break;
       case RequestKind::kStats: body = serve_stats(); break;
       case RequestKind::kStatus: body = serve_status(); break;
+      case RequestKind::kDesign:
+      case RequestKind::kShard:
+        // Worker-plane requests: the daemon is a coordinator, not a shard
+        // worker - point the peer at `polaris_cli worker`.
+        throw ServerError(Status::kBadRequest,
+                          std::string("polaris serve: request kind '") +
+                              kind_name +
+                              "' is served by shard workers "
+                              "(polaris_cli worker), not the daemon");
       case RequestKind::kShutdown:
         keep_open = false;
         request_stop();
@@ -489,6 +464,7 @@ core::ResultCache::Body Server::serve_status() {
               return a.age_us > b.age_us;
             });
   reply.campaigns = scheduler_.progress();
+  if (pool_) reply.workers = pool_->health();
   const auto records = recorder_.recent();
   reply.recent.reserve(records.size());
   for (const auto& record : records) {
@@ -566,14 +542,23 @@ core::ResultCache::Body Server::audit_body(const AuditRequest& request,
     return cached;
   }
   try {
-    auto pending = core::submit_audits(scheduler_, {&design, 1}, lib_,
-                                       request.config, std::move(progress));
-    scheduler_.drain();
+    tvla::LeakageReport report{{}, {}, 0.0};
+    if (pool_) {
+      // Distributed backend: same shards, same ascending merge, same
+      // bits - which is exactly why the cache key above is unchanged.
+      report = pool_->audit({&design, 1}, lib_, request.config,
+                            std::move(progress))[0];
+    } else {
+      auto pending = core::submit_audits(scheduler_, {&design, 1}, lib_,
+                                         request.config, std::move(progress));
+      scheduler_.drain();
+      report = pending[0].get();
+    }
     AuditReply reply;
     reply.design_name = design.name;
     reply.gate_count = design.netlist.gate_count();
     reply.traces = request.config.tvla.traces;
-    reply.report = pending[0].get();
+    reply.report = std::move(report);
     reply.traces_used = reply.report.traces_used();
     reply.early_stopped = reply.report.early_stopped();
     auto body = std::make_shared<const std::vector<std::uint8_t>>(

@@ -29,17 +29,28 @@
 #include "engine/scheduler.hpp"
 #include "obs/timeseries.hpp"
 #include "server/flight_recorder.hpp"
+#include "server/net.hpp"
 #include "server/protocol.hpp"
+#include "server/remote.hpp"
 #include "techlib/techlib.hpp"
 
 namespace polaris::server {
 
 struct ServerOptions {
-  std::string socket_path;  // Unix-domain socket (<= ~100 chars on Linux)
+  std::string socket_path;  // endpoint spec: a UDS path (<= ~100 chars on
+                            // Linux) or "tcp:host:port" (port 0 binds an
+                            // ephemeral port; see Server::endpoint())
   std::string bundle_path;  // trained .plb bundle, loaded once at startup
   std::size_t threads = 0;  // scheduler fan-out: 0 = all hardware threads
   std::size_t max_frame = kDefaultMaxFrame;  // per-frame payload cap, bytes
   std::size_t cache_capacity = 256;          // result-cache entries
+  int backlog = 64;  // listen(2) backlog: connections the kernel queues
+                     // while the accept loop is busy spawning handlers
+  /// Comma-separated shard-worker endpoints. Non-empty routes every audit
+  /// campaign through a WorkerPool (local lanes + these workers) instead
+  /// of the in-process scheduler; results stay byte-identical, so the
+  /// result cache and its keys are untouched.
+  std::string workers;
   // Live-operations knobs (pure telemetry; none affect served results):
   std::size_t sample_interval_ms = 1000;  // metrics sampler period, 0 = off
   std::string metrics_file;      // append one JSON delta line per interval
@@ -86,6 +97,9 @@ class Server {
   [[nodiscard]] const std::string& socket_path() const {
     return options_.socket_path;
   }
+  /// The endpoint actually bound - an ephemeral TCP port 0 in the options
+  /// resolves to the kernel-assigned port here (tests depend on this).
+  [[nodiscard]] const net::Endpoint& endpoint() const { return endpoint_; }
 
  private:
   /// One accepted connection: its handler thread plus a completion flag
@@ -129,10 +143,13 @@ class Server {
   core::ResultCache::Body serve_score(serialize::Reader& in, bool& cache_hit);
 
   ServerOptions options_;
+  net::Endpoint endpoint_;
   core::Polaris polaris_;
   core::BundleInfo info_;
   techlib::TechLibrary lib_ = techlib::TechLibrary::default_library();
   engine::Scheduler scheduler_;
+  /// Non-null when --workers was given: audits run distributed.
+  std::unique_ptr<WorkerPool> pool_;
   core::ResultCache cache_;
   FlightRecorder recorder_;
   obs::Sampler sampler_;

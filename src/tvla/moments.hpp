@@ -41,6 +41,27 @@ class MomentAccumulator {
   [[nodiscard]] double skewness() const noexcept;
   [[nodiscard]] double kurtosis() const noexcept;
 
+  /// Raw centered power sums S_d = sum (x-mean)^d, d = 2..4 - the exact
+  /// internal state, exposed so shard results can travel across hosts
+  /// (tvla/moments_io.hpp) and be restored bit-identically.
+  [[nodiscard]] double sum2() const noexcept { return s2_; }
+  [[nodiscard]] double sum3() const noexcept { return s3_; }
+  [[nodiscard]] double sum4() const noexcept { return s4_; }
+
+  /// Rebuilds an accumulator from its exact serialized state. merge() on a
+  /// restored accumulator runs the same float ops as on the original.
+  [[nodiscard]] static MomentAccumulator restore(std::size_t n, double mean,
+                                                 double s2, double s3,
+                                                 double s4) noexcept {
+    MomentAccumulator acc;
+    acc.n_ = n;
+    acc.mean_ = mean;
+    acc.s2_ = s2;
+    acc.s3_ = s3;
+    acc.s4_ = s4;
+    return acc;
+  }
+
  private:
   std::size_t n_ = 0;
   double mean_ = 0.0;
@@ -103,6 +124,23 @@ class CampaignMoments {
   }
   [[nodiscard]] const MomentAccumulator& multi_random(std::size_t i) const noexcept {
     return multi_random_[i];
+  }
+
+  [[nodiscard]] std::size_t group_count() const noexcept {
+    return single_ones_fixed_.size();
+  }
+  [[nodiscard]] std::size_t multi_group_count() const noexcept {
+    return multi_fixed_.size();
+  }
+
+  /// Restores one multi-member group's accumulator pair from serialized
+  /// state (tvla/moments_io.hpp). Counts and single-group toggles are
+  /// restorable through add_lane_counts/add_single_ones on a fresh object;
+  /// only the accumulators need direct placement.
+  void set_multi(std::size_t multi_index, MomentAccumulator fixed,
+                 MomentAccumulator random) noexcept {
+    multi_fixed_[multi_index] = fixed;
+    multi_random_[multi_index] = random;
   }
 
  private:

@@ -272,6 +272,40 @@ class Campaign {
         self->label_);
   }
 
+  /// Shard-granular execution for tvla::ShardRunner: runs one shard of the
+  /// campaign's ShardPlan into a fresh moments block - the exact block loop
+  /// the scheduler's run_shard executes (fresh state, blocks re-anchored at
+  /// the shard begin), so the result is the shard state any scheduler,
+  /// thread count, or host would have produced.
+  [[nodiscard]] CampaignMoments run_shard_moments(std::size_t shard) const {
+    const engine::ShardPlan plan = engine::ShardPlan::make(batch_count());
+    ShardState state = make_shard_state();
+    const std::size_t end = plan.end(shard);
+    for (std::size_t b = plan.begin(shard); b < end; b += lane_words_) {
+      run_block(state, b, std::min(lane_words_, end - b));
+    }
+    return std::move(state.moments);
+  }
+
+  [[nodiscard]] const std::vector<std::size_t>& checkpoint_shards() const {
+    return checkpoint_shards_;
+  }
+  /// A zeroed moments block with the campaign's group layout - the merge
+  /// identity, and the finalize input for zero-batch campaigns (mirroring
+  /// the scheduler's finalize(make(0)) semantics).
+  [[nodiscard]] CampaignMoments empty_moments() const {
+    return CampaignMoments(plan_.group_count(), plan_.multi_group_count());
+  }
+  /// Public seams over the private checkpoint/finalize paths, for the
+  /// coordinator-side merge replay (tvla::ShardRunner).
+  [[nodiscard]] bool checkpoint_decision(const CampaignMoments& merged,
+                                         std::size_t shards_merged) {
+    return evaluate_checkpoint(merged, shards_merged);
+  }
+  [[nodiscard]] LeakageReport finalize_moments(const CampaignMoments& total) {
+    return finalize(total);
+  }
+
  private:
   /// Everything one shard mutates: its own K-word simulator, one
   /// per-batch stimulus stream and class mask per lane word, the mergeable
@@ -657,6 +691,59 @@ std::future<LeakageReport> submit_fixed_vs_fixed(
                                                     config,
                                                     Mode::kFixedVsFixed),
                          scheduler, std::move(progress), std::move(label));
+}
+
+// --- ShardRunner -------------------------------------------------------------
+
+struct ShardRunner::Impl {
+  std::shared_ptr<Campaign> campaign;
+  engine::ShardPlan plan;
+};
+
+ShardRunner::ShardRunner(const netlist::Netlist& design,
+                         const techlib::TechLibrary& lib,
+                         const TvlaConfig& config)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->campaign =
+      std::make_shared<Campaign>(design, lib, config, Mode::kFixedVsRandom);
+  impl_->plan = engine::ShardPlan::make(impl_->campaign->batch_count());
+}
+
+ShardRunner::~ShardRunner() = default;
+
+std::size_t ShardRunner::batch_count() const {
+  return impl_->campaign->batch_count();
+}
+
+std::size_t ShardRunner::shard_count() const { return impl_->plan.shard_count; }
+
+std::size_t ShardRunner::cost_weight() const {
+  return impl_->campaign->cost_weight();
+}
+
+CampaignMoments ShardRunner::run_shard(std::size_t shard) const {
+  return impl_->campaign->run_shard_moments(shard);
+}
+
+CampaignMoments ShardRunner::empty_moments() const {
+  return impl_->campaign->empty_moments();
+}
+
+const std::vector<std::size_t>& ShardRunner::checkpoint_shards() const {
+  return impl_->campaign->checkpoint_shards();
+}
+
+bool ShardRunner::evaluate_checkpoint(const CampaignMoments& merged,
+                                      std::size_t shards_merged) {
+  return impl_->campaign->checkpoint_decision(merged, shards_merged);
+}
+
+void ShardRunner::set_progress(ProgressFn progress) {
+  impl_->campaign->set_progress(std::move(progress));
+}
+
+LeakageReport ShardRunner::finalize(const CampaignMoments& total) {
+  return impl_->campaign->finalize_moments(total);
 }
 
 }  // namespace polaris::tvla

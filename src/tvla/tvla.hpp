@@ -28,12 +28,14 @@
 #include <cstdint>
 #include <functional>
 #include <future>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "netlist/netlist.hpp"
 #include "sim/compiled.hpp"
 #include "techlib/techlib.hpp"
+#include "tvla/moments.hpp"
 #include "tvla/welch.hpp"
 
 namespace polaris::engine {
@@ -182,6 +184,66 @@ class LeakageReport {
 /// rethrows it). Ignored when the budget is disabled.
 using ProgressFn =
     std::function<void(const LeakageReport& partial, std::size_t traces_done)>;
+
+/// Shard-granular access to a fixed-vs-random campaign - the seam the
+/// distributed backend (server/remote.hpp, server/worker.hpp) executes
+/// through. A ShardRunner owns exactly the campaign context the scheduler
+/// path owns (compiled design, power model, sampling plan, fixed vectors,
+/// checkpoint schedule); run_shard(s) produces the same CampaignMoments
+/// shard s accumulates under any scheduler, thread count, or lane width,
+/// so per-shard moments computed on ANY host merge - in ascending shard
+/// order - into a report bit-identical to the single-host entry points.
+///
+/// The caller owns the merge loop: merge shard moments ascending, calling
+/// evaluate_checkpoint after each prefix listed in checkpoint_shards()
+/// (budget-enabled campaigns; a true return stops the merge at that
+/// prefix), then finalize() the merged total. run_shard is const and
+/// thread-safe; evaluate_checkpoint/finalize are single-threaded.
+class ShardRunner {
+ public:
+  /// Compiles the design once. Throws like the campaign entry points on
+  /// invalid configs. `design` and `lib` must outlive the runner.
+  ShardRunner(const netlist::Netlist& design, const techlib::TechLibrary& lib,
+              const TvlaConfig& config);
+  ~ShardRunner();
+
+  ShardRunner(const ShardRunner&) = delete;
+  ShardRunner& operator=(const ShardRunner&) = delete;
+
+  /// Trace budget in whole batches - the input to engine::ShardPlan::make,
+  /// which defines the shard index space run_shard accepts.
+  [[nodiscard]] std::size_t batch_count() const;
+  /// Shards in the campaign's ShardPlan (pure function of batch_count).
+  [[nodiscard]] std::size_t shard_count() const;
+  /// The campaign's LPT scheduling weight (simulation-cost proxy).
+  [[nodiscard]] std::size_t cost_weight() const;
+
+  /// Runs shard `shard` of the plan into a fresh moments block.
+  [[nodiscard]] CampaignMoments run_shard(std::size_t shard) const;
+  /// A zeroed moments block with the campaign's group layout - the merge
+  /// identity, and the finalize input for zero-shard campaigns.
+  [[nodiscard]] CampaignMoments empty_moments() const;
+
+  /// Ascending shard-prefix counts at which evaluate_checkpoint must run
+  /// during the ascending merge (empty when the budget is disabled).
+  [[nodiscard]] const std::vector<std::size_t>& checkpoint_shards() const;
+  /// Early-stop decision on the merged prefix of `shards_merged` shards.
+  /// Returns true to stop (the caller finalizes the current total and
+  /// discards later shards). Also drives the progress observer.
+  [[nodiscard]] bool evaluate_checkpoint(const CampaignMoments& merged,
+                                         std::size_t shards_merged);
+  /// Installs the per-checkpoint observer (see ProgressFn). Must be set
+  /// before the merge loop runs.
+  void set_progress(ProgressFn progress);
+
+  /// Computes the final report from the merged total, including budget
+  /// trace-usage when an earlier evaluate_checkpoint stopped the campaign.
+  [[nodiscard]] LeakageReport finalize(const CampaignMoments& total);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 /// Fixed-vs-random campaign (the protocol used for all paper tables).
 /// Compiles the design once (sim::compile) and shares the plan across all

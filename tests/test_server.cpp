@@ -868,6 +868,45 @@ TEST(ServeProtocol, StatusReplyRoundTripsAllThreeTables) {
   EXPECT_EQ(back.recent[0].age_us, 5u);
 }
 
+TEST(ServeProtocol, StatusReplyRoundTripsWorkerFleetHealth) {
+  server::StatusReply reply;
+  reply.model_name = "adaboost";
+  {
+    server::WorkerHealthEntry worker;
+    worker.endpoint = "tcp:10.0.0.7:9000";
+    worker.alive = true;
+    worker.inflight = 3;
+    worker.shards_done = 128;
+    worker.bytes_out = 4096;
+    worker.bytes_in = 1 << 20;
+    worker.resends = 0;
+    reply.workers.push_back(worker);
+    worker.endpoint = "tcp:10.0.0.8:9000";
+    worker.alive = false;
+    worker.resends = 12;
+    reply.workers.push_back(worker);
+  }
+  const auto back =
+      server::decode_status_reply(server::encode_status_reply(reply));
+  ASSERT_EQ(back.workers.size(), 2u);
+  EXPECT_EQ(back.workers[0].endpoint, "tcp:10.0.0.7:9000");
+  EXPECT_TRUE(back.workers[0].alive);
+  EXPECT_EQ(back.workers[0].inflight, 3u);
+  EXPECT_EQ(back.workers[0].shards_done, 128u);
+  EXPECT_EQ(back.workers[0].bytes_out, 4096u);
+  EXPECT_EQ(back.workers[0].bytes_in, std::uint64_t{1} << 20);
+  EXPECT_FALSE(back.workers[1].alive);
+  EXPECT_EQ(back.workers[1].resends, 12u);
+
+  // A workerless daemon's reply omits the fleet chunk entirely: its status
+  // body stays byte-identical to the pre-distributed wire format.
+  server::StatusReply plain;
+  plain.model_name = "adaboost";
+  const auto plain_body = server::encode_status_reply(plain);
+  EXPECT_LT(plain_body.size(), server::encode_status_reply(reply).size());
+  EXPECT_TRUE(server::decode_status_reply(plain_body).workers.empty());
+}
+
 TEST(ServeProtocol, EveryTruncatedStatusReplyPrefixFailsCleanly) {
   // The serialize truncation-sweep idiom, applied to the status body: a
   // torn or hostile reply must throw from the decoder, never crash or
@@ -1036,6 +1075,147 @@ TEST_F(ServerTest, StatusReportsInflightCampaignsAndFlightRecorder) {
   EXPECT_GT(poll.stats().uptime_ms + 1, 0u);  // present and decodable
   daemon->request_stop();
   daemon->wait();
+}
+
+// --- TCP transport -----------------------------------------------------------
+
+TEST_F(ServerTest, TcpEndpointServesBitIdenticalAudits) {
+  server::ServerOptions options;
+  options.socket_path = "tcp:127.0.0.1:0";  // ephemeral port
+  options.bundle_path = *bundle_path_;
+  options.threads = 2;
+  auto daemon = std::make_unique<server::Server>(options);
+  daemon->start();
+  const std::string endpoint = server::net::to_string(daemon->endpoint());
+  ASSERT_NE(endpoint.find("tcp:127.0.0.1:"), std::string::npos);
+  ASSERT_NE(daemon->endpoint().port, 0);  // resolved, not the requested 0
+
+  const auto config = audit_config();
+  const auto design = circuits::load_design("des3", 0.3);
+  const auto expected = tvla::run_fixed_vs_random(
+      design.netlist, lib(), core::tvla_config_for(config, design));
+
+  server::Client client(endpoint);
+  server::AuditRequest request;
+  request.design = "des3";
+  request.scale = 0.3;
+  request.config = config;
+  const auto reply = client.audit(request);
+  expect_reports_bit_identical(reply.report, expected);
+  daemon->request_stop();
+  daemon->wait();
+}
+
+TEST_F(ServerTest, TcpTruncatedFramePrefixesLeaveTheServerServing) {
+  server::ServerOptions options;
+  options.socket_path = "tcp:127.0.0.1:0";
+  options.bundle_path = *bundle_path_;
+  options.threads = 1;
+  auto daemon = std::make_unique<server::Server>(options);
+  daemon->start();
+
+  // The same sweep the UDS leg runs: a peer dying after ANY frame prefix
+  // must not take the daemon down, on this transport too.
+  const auto frame = ping_frame_bytes();
+  for (std::size_t keep = 0; keep < frame.size(); ++keep) {
+    const int fd = server::net::connect_endpoint(daemon->endpoint());
+    ASSERT_GE(fd, 0) << "daemon gone after prefix of " << keep << " bytes";
+    if (keep > 0) send_all(fd, frame.data(), keep);
+    ::close(fd);
+  }
+  server::Client client(server::net::to_string(daemon->endpoint()));
+  EXPECT_EQ(client.ping().protocol, server::kProtocolVersion);
+  daemon->request_stop();
+  daemon->wait();
+}
+
+TEST_F(ServerTest, TcpCorruptFramesGetStructuredErrorsAndConnectionSurvives) {
+  server::ServerOptions options;
+  options.socket_path = "tcp:127.0.0.1:0";
+  options.bundle_path = *bundle_path_;
+  options.threads = 1;
+  auto daemon = std::make_unique<server::Server>(options);
+  daemon->start();
+
+  {
+    auto bad_magic = ping_frame_bytes();
+    bad_magic[0] = 'X';
+    const int fd = server::net::connect_endpoint(daemon->endpoint());
+    ASSERT_GE(fd, 0);
+    send_all(fd, bad_magic.data(), bad_magic.size());
+    EXPECT_EQ(read_status(fd), server::Status::kBadMagic);
+    ::close(fd);
+  }
+  {
+    // Corrupt payload, intact framing: answered AND the connection keeps
+    // serving, exactly like the UDS leg.
+    auto corrupt = ping_frame_bytes();
+    corrupt[server::kFrameHeaderSize + 5] ^= 0x40;
+    const int fd = server::net::connect_endpoint(daemon->endpoint());
+    ASSERT_GE(fd, 0);
+    send_all(fd, corrupt.data(), corrupt.size());
+    EXPECT_EQ(read_status(fd), server::Status::kBadPayload);
+    const auto good = ping_frame_bytes();
+    send_all(fd, good.data(), good.size());
+    EXPECT_EQ(read_status(fd), server::Status::kOk);
+    ::close(fd);
+  }
+  daemon->request_stop();
+  daemon->wait();
+}
+
+TEST(ServeNet, EndpointSpecsParseAndRoundTrip) {
+  const auto tcp = server::net::parse_endpoint("tcp:localhost:9000");
+  EXPECT_TRUE(tcp.tcp);
+  EXPECT_EQ(tcp.host, "localhost");
+  EXPECT_EQ(tcp.port, 9000);
+  // The bare host:port spelling used by --workers lists.
+  const auto bare = server::net::parse_endpoint("10.0.0.7:12345");
+  EXPECT_TRUE(bare.tcp);
+  EXPECT_EQ(bare.host, "10.0.0.7");
+  EXPECT_EQ(bare.port, 12345);
+  EXPECT_EQ(server::net::to_string(bare), "tcp:10.0.0.7:12345");
+  // Anything else is a UDS path, including paths with colons elsewhere.
+  const auto uds = server::net::parse_endpoint("/tmp/polaris.sock");
+  EXPECT_FALSE(uds.tcp);
+  EXPECT_EQ(uds.path, "/tmp/polaris.sock");
+  EXPECT_EQ(server::net::to_string(uds), "/tmp/polaris.sock");
+  EXPECT_THROW((void)server::net::parse_endpoint("tcp:host:99999"),
+               std::runtime_error);
+  EXPECT_THROW((void)server::net::parse_endpoint(""), std::runtime_error);
+}
+
+// --- client deadline ---------------------------------------------------------
+
+TEST(ServeClient, TimeoutRaisesStructuredErrorAgainstASilentPeer) {
+  // A listener that accepts (the kernel completes the handshake from the
+  // backlog) but never reads or replies: without a deadline the client
+  // would block forever; with one it must throw the structured type within
+  // the configured window.
+  const auto requested = server::net::parse_endpoint("tcp:127.0.0.1:0");
+  const int listen_fd = server::net::listen_endpoint(requested, 1);
+  ASSERT_GE(listen_fd, 0);
+  const auto bound = server::net::bound_endpoint(listen_fd, requested);
+
+  server::Client client(server::net::to_string(bound), /*timeout_ms=*/300);
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW((void)client.ping(), server::TimeoutError);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed, std::chrono::seconds(10));
+  try {
+    (void)client.ping();
+  } catch (const server::TimeoutError& error) {
+    EXPECT_NE(std::string(error.what()).find("300 ms"), std::string::npos);
+  }
+  ::close(listen_fd);
+}
+
+TEST_F(ServerTest, TimeoutDoesNotFireOnAResponsiveDaemon) {
+  auto daemon = make_server(1);
+  server::Client client(daemon->socket_path(), /*timeout_ms=*/30000);
+  EXPECT_EQ(client.ping().protocol, server::kProtocolVersion);
+  // Repeated calls re-arm the window; a healthy daemon never trips it.
+  EXPECT_EQ(client.ping().protocol, server::kProtocolVersion);
 }
 
 TEST(ServeProtocol, ErrorResponseCarriesStatusAndMessage) {

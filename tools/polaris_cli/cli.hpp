@@ -123,6 +123,7 @@ int cmd_audit(std::span<const char* const> args);
 int cmd_mask(std::span<const char* const> args);
 int cmd_inspect(std::span<const char* const> args);
 int cmd_serve(std::span<const char* const> args);
+int cmd_worker(std::span<const char* const> args);
 int cmd_client(std::span<const char* const> args);
 int cmd_version(std::span<const char* const> args);
 

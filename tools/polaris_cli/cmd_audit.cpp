@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "cli.hpp"
+#include "server/remote.hpp"
 #include "techlib/techlib.hpp"
 #include "tvla/tvla.hpp"
 #include "util/strings.hpp"
@@ -25,6 +26,10 @@ int cmd_audit(std::span<const char* const> args) {
   specs.push_back({"scale", true, "suite design-size scale in (0,1] (default 1.0)"});
   specs.push_back({"top", true, "list the N leakiest gates (default 10)"});
   specs.push_back({"json", false, "emit a JSON object (array when several designs)"});
+  specs.push_back({"workers", true,
+                   "comma-separated shard-worker endpoints (host:port or "
+                   "tcp:host:port); shards distribute across them plus "
+                   "local lanes, output stays byte-identical"});
   specs.push_back(trace_flag_spec());
   specs.push_back({"help", false, "show this help"});
   const ParsedFlags flags(args, specs);
@@ -48,7 +53,30 @@ int cmd_audit(std::span<const char* const> args) {
   if (designs.empty()) throw UsageError("flag '--design' names no designs");
 
   const auto lib = techlib::TechLibrary::default_library();
-  const auto reports = core::audit_designs(designs, lib, config);
+  std::vector<tvla::LeakageReport> reports;
+  const std::string workers = flags.get("workers", "");
+  if (workers.empty()) {
+    reports = core::audit_designs(designs, lib, config);
+  } else {
+    // Distributed path: same shards, same ascending merge, byte-identical
+    // reports - the pool is a drop-in for core::audit_designs. The fleet
+    // summary goes to stderr so --json stdout stays machine-parseable.
+    server::WorkerPoolOptions pool_options;
+    pool_options.workers = workers;
+    pool_options.local_threads = config.threads;
+    server::WorkerPool pool(pool_options);
+    reports = pool.audit(designs, lib, config);
+    const auto totals = pool.totals();
+    std::fprintf(stderr,
+                 "polaris audit: distributed over %zu workers "
+                 "(shards_out=%llu, moments_in=%llu, bytes=%llu, "
+                 "resends=%llu)\n",
+                 pool.worker_count(),
+                 static_cast<unsigned long long>(totals.shards_out),
+                 static_cast<unsigned long long>(totals.moments_in),
+                 static_cast<unsigned long long>(totals.bytes),
+                 static_cast<unsigned long long>(totals.resends));
+  }
   const std::size_t top = flags.get_size("top", 10);
 
   // With --budget the traces column reports what the campaign actually

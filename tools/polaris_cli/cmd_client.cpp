@@ -26,6 +26,14 @@ namespace polaris::cli {
 
 namespace {
 
+/// Every verb takes --timeout-ms: 0 (the default) blocks forever, exactly
+/// the pre-flag behavior; > 0 arms the client's per-request deadline and a
+/// silent daemon surfaces server::TimeoutError (exit code 1) instead of a
+/// hang.
+std::size_t timeout_from(const ParsedFlags& flags) {
+  return flags.get_size("timeout-ms", 0);
+}
+
 void note_cache_hit(bool cache_hit) {
   if (cache_hit) {
     std::fputs("polaris client: served from result cache\n", stderr);
@@ -33,7 +41,7 @@ void note_cache_hit(bool cache_hit) {
 }
 
 int client_ping(const ParsedFlags& flags) {
-  server::Client client(flags.require("socket"));
+  server::Client client(flags.require("socket"), timeout_from(flags));
   const auto reply = client.ping();
   std::printf("{\"server\":\"polaris\",\"protocol\":%u,\"model\":\"%s\","
               "\"fingerprint\":\"%016llx\",\"requests\":%llu,"
@@ -47,7 +55,7 @@ int client_ping(const ParsedFlags& flags) {
 }
 
 int client_stats(const ParsedFlags& flags) {
-  server::Client client(flags.require("socket"));
+  server::Client client(flags.require("socket"), timeout_from(flags));
   const auto reply = client.stats();
   if (flags.has("prom")) {
     // Prometheus text exposition; scrape-ready via `curl --unix-socket`-
@@ -136,6 +144,23 @@ std::string render_status_json(const server::StatusReply& reply) {
         static_cast<unsigned long long>(record.age_us));
     out += buffer;
   }
+  out += "],\"workers\":[";
+  for (std::size_t i = 0; i < reply.workers.size(); ++i) {
+    const auto& worker = reply.workers[i];
+    std::snprintf(
+        buffer, sizeof(buffer),
+        "%s{\"endpoint\":\"%s\",\"alive\":%s,\"inflight\":%llu,"
+        "\"shards_done\":%llu,\"bytes_out\":%llu,\"bytes_in\":%llu,"
+        "\"resends\":%llu}",
+        i == 0 ? "" : ",", json_escape(worker.endpoint).c_str(),
+        worker.alive ? "true" : "false",
+        static_cast<unsigned long long>(worker.inflight),
+        static_cast<unsigned long long>(worker.shards_done),
+        static_cast<unsigned long long>(worker.bytes_out),
+        static_cast<unsigned long long>(worker.bytes_in),
+        static_cast<unsigned long long>(worker.resends));
+    out += buffer;
+  }
   out += "]}";
   return out;
 }
@@ -193,10 +218,26 @@ void render_status_tables(const server::StatusReply& reply) {
     }
     std::fputs(table.render().c_str(), stdout);
   }
+  // Only daemons started with --workers report a fleet; keep workerless
+  // output unchanged.
+  if (!reply.workers.empty()) {
+    std::printf("\nremote shard workers (%zu):\n", reply.workers.size());
+    util::Table table({"Endpoint", "State", "Inflight", "Shards", "Sent",
+                       "Received", "Resends"});
+    for (const auto& worker : reply.workers) {
+      table.add_row({worker.endpoint, worker.alive ? "alive" : "dead",
+                     std::to_string(worker.inflight),
+                     std::to_string(worker.shards_done),
+                     std::to_string(worker.bytes_out),
+                     std::to_string(worker.bytes_in),
+                     std::to_string(worker.resends)});
+    }
+    std::fputs(table.render().c_str(), stdout);
+  }
 }
 
 int client_status(const ParsedFlags& flags) {
-  server::Client client(flags.require("socket"));
+  server::Client client(flags.require("socket"), timeout_from(flags));
   const auto reply = client.status();
   if (flags.has("table")) {
     render_status_tables(reply);
@@ -213,14 +254,14 @@ int client_top(const ParsedFlags& flags) {
   }
   const std::size_t count = flags.get_size("count", 5);
 
-  server::Client client(flags.require("socket"));
+  server::Client client(flags.require("socket"), timeout_from(flags));
   auto previous = client.stats();
   std::int64_t previous_ns = obs::now_ns();
   std::printf("polaris top: %s (interval %.1fs, %zu samples)\n",
               previous.model_name.c_str(), interval_s, count);
-  std::printf("%-14s %9s %12s %6s %9s %9s %9s %10s\n", "time", "req/s",
+  std::printf("%-14s %9s %12s %6s %9s %9s %9s %10s %8s\n", "time", "req/s",
               "traces/s", "hit%", "p50(ms)", "p95(ms)", "inflight",
-              "campaigns");
+              "campaigns", "workers");
   for (std::size_t i = 0; i < count; ++i) {
     std::this_thread::sleep_for(std::chrono::duration<double>(interval_s));
     auto current = client.stats();
@@ -256,9 +297,18 @@ int client_top(const ParsedFlags& flags) {
     // HH:MM:SS.mmm of the ISO-8601 UTC timestamp - enough to line samples
     // up against the daemon's log lines.
     const std::string stamp = obs::wall_clock_iso8601().substr(11, 12);
-    std::printf("%-14s %9.1f %12.0f %6.1f %9.2f %9.2f %9zu %10zu\n",
+    // alive/total of the daemon's shard-worker fleet; "-" for a daemon
+    // serving without --workers.
+    std::string fleet = "-";
+    if (!status.workers.empty()) {
+      std::size_t alive = 0;
+      for (const auto& worker : status.workers) alive += worker.alive ? 1 : 0;
+      fleet = std::to_string(alive) + "/" + std::to_string(status.workers.size());
+    }
+    std::printf("%-14s %9.1f %12.0f %6.1f %9.2f %9.2f %9zu %10zu %8s\n",
                 stamp.c_str(), requests_rate, traces_rate, hit_pct, p50_ms,
-                p95_ms, status.inflight.size(), status.campaigns.size());
+                p95_ms, status.inflight.size(), status.campaigns.size(),
+                fleet.c_str());
     std::fflush(stdout);
     previous = std::move(current);
     previous_ns = now_ns;
@@ -283,6 +333,7 @@ int client_audit(const ParsedFlags& flags) {
   // designs interleave shard-for-shard exactly like the offline
   // `audit --design a,b,c` path (instead of serializing per round-trip).
   const std::string socket_path = flags.require("socket");
+  const std::size_t timeout_ms = timeout_from(flags);
   const bool stream = flags.has("stream");
   std::vector<server::AuditReply> replies(designs.size());
   std::vector<std::exception_ptr> errors(designs.size());
@@ -295,7 +346,7 @@ int client_audit(const ParsedFlags& flags) {
           request.design = designs[i];
           request.scale = scale;
           request.config = config;
-          server::Client client(socket_path);
+          server::Client client(socket_path, timeout_ms);
           if (stream) {
             // Checkpoint notices go to stderr: stdout stays byte-identical
             // to the non-streaming verb for the same request.
@@ -372,7 +423,7 @@ int client_mask(const ParsedFlags& flags) {
   request.verify = flags.has("verify");
   const std::string out_path = flags.require("out");
 
-  server::Client client(flags.require("socket"));
+  server::Client client(flags.require("socket"), timeout_from(flags));
   const auto reply = client.mask(request);
   note_cache_hit(reply.cache_hit);
   // Atomic, like the offline path: a flow must never see a truncated .v.
@@ -399,7 +450,7 @@ int client_score(const ParsedFlags& flags) {
   request.mode = mode_from_string(flags.get("mode", "model"));
   const std::size_t top = flags.get_size("top", 10);
 
-  server::Client client(flags.require("socket"));
+  server::Client client(flags.require("socket"), timeout_from(flags));
   const auto reply = client.score(request);
   note_cache_hit(reply.cache_hit);
 
@@ -439,7 +490,7 @@ int client_score(const ParsedFlags& flags) {
 }
 
 int client_shutdown(const ParsedFlags& flags) {
-  server::Client client(flags.require("socket"));
+  server::Client client(flags.require("socket"), timeout_from(flags));
   client.shutdown_server();
   std::printf("shutdown requested\n");
   return 0;
@@ -469,11 +520,17 @@ int cmd_client(std::span<const char* const> args) {
   const auto rest = args.subspan(1);
 
   const FlagSpec socket_spec{"socket", true,
-                             "daemon socket path (required)"};
+                             "daemon endpoint: Unix-socket path or "
+                             "tcp:host:port (required)"};
+  const FlagSpec timeout_spec{"timeout-ms", true,
+                              "per-request deadline in ms; a silent daemon "
+                              "raises a timeout error (default 0 = wait "
+                              "forever)"};
   const FlagSpec help_spec{"help", false, "show this help"};
 
   if (verb == "ping" || verb == "shutdown") {
-    const std::vector<FlagSpec> specs = {socket_spec, help_spec};
+    const std::vector<FlagSpec> specs = {socket_spec, timeout_spec,
+                                         help_spec};
     const ParsedFlags flags(rest, specs);
     if (flags.has("help")) {
       std::printf("usage: polaris_cli client %s --socket <path.sock>\n\n%s",
@@ -485,6 +542,7 @@ int cmd_client(std::span<const char* const> args) {
   if (verb == "stats") {
     const std::vector<FlagSpec> specs = {
         socket_spec,
+        timeout_spec,
         {"prom", false, "Prometheus text exposition instead of JSON"},
         help_spec,
     };
@@ -500,6 +558,7 @@ int cmd_client(std::span<const char* const> args) {
   if (verb == "status") {
     const std::vector<FlagSpec> specs = {
         socket_spec,
+        timeout_spec,
         {"table", false, "human-readable tables instead of JSON"},
         help_spec,
     };
@@ -515,6 +574,7 @@ int cmd_client(std::span<const char* const> args) {
   if (verb == "top") {
     const std::vector<FlagSpec> specs = {
         socket_spec,
+        timeout_spec,
         {"interval", true, "seconds between samples (default 2.0)"},
         {"count", true, "samples to print before exiting (default 5)"},
         help_spec,
@@ -531,6 +591,7 @@ int cmd_client(std::span<const char* const> args) {
   if (verb == "audit") {
     std::vector<FlagSpec> specs = config_flag_specs();
     specs.push_back(socket_spec);
+    specs.push_back(timeout_spec);
     specs.push_back({"design", true,
                      "suite name(s) or Verilog file(s), comma-separated "
                      "(required)"});
@@ -555,6 +616,7 @@ int cmd_client(std::span<const char* const> args) {
   if (verb == "mask") {
     const std::vector<FlagSpec> specs = {
         socket_spec,
+        timeout_spec,
         {"design", true, "suite name or Verilog file (required)"},
         {"out", true, "masked Verilog output path (required)"},
         {"scale", true, "suite design-size scale in (0,1] (default 1.0)"},
@@ -576,6 +638,7 @@ int cmd_client(std::span<const char* const> args) {
   if (verb == "score") {
     const std::vector<FlagSpec> specs = {
         socket_spec,
+        timeout_spec,
         {"design", true, "suite name or Verilog file (required)"},
         {"scale", true, "suite design-size scale in (0,1] (default 1.0)"},
         {"mode", true, "model | rules | model+rules (default model)"},

@@ -29,8 +29,13 @@ void handle_stop_signal(int) {
 int cmd_serve(std::span<const char* const> args) {
   const std::vector<FlagSpec> specs = {
       {"bundle", true, "trained .plb bundle to serve (required)"},
-      {"socket", true, "Unix-domain socket path to listen on (required)"},
+      {"socket", true,
+       "endpoint to listen on: Unix-socket path or tcp:host:port (required)"},
       {"threads", true, "scheduler worker threads, 0 = all cores (default 0)"},
+      {"workers", true,
+       "comma-separated shard-worker endpoints; audits distribute across "
+       "them plus local lanes (results stay byte-identical)"},
+      {"backlog", true, "listen(2) connection backlog (default 64)"},
       {"max-frame", true,
        "largest accepted request payload in bytes (default 67108864)"},
       {"cache-capacity", true, "result-cache entries, 0 disables (default 256)"},
@@ -56,6 +61,8 @@ int cmd_serve(std::span<const char* const> args) {
   options.bundle_path = flags.require("bundle");
   options.socket_path = flags.require("socket");
   options.threads = flags.get_size("threads", 0);
+  options.workers = flags.get("workers", "");
+  options.backlog = static_cast<int>(flags.get_size("backlog", 64));
   options.max_frame = flags.get_size("max-frame", server::kDefaultMaxFrame);
   options.cache_capacity = flags.get_size("cache-capacity", 256);
   options.metrics_file = flags.get("metrics-file", "");
@@ -65,10 +72,17 @@ int cmd_serve(std::span<const char* const> args) {
 
   server::Server daemon(options);
   const auto& info = daemon.bundle_info();
+  // The RESOLVED endpoint: "--socket tcp:host:0" binds an ephemeral port,
+  // and smoke scripts read the actual one from this line. A UDS endpoint
+  // renders as its path, exactly as before.
   std::printf("polaris serve: %s (model=%s, fingerprint=%016llx) on %s\n",
               options.bundle_path.c_str(), info.model_name.c_str(),
               static_cast<unsigned long long>(info.config_fingerprint),
-              options.socket_path.c_str());
+              server::net::to_string(daemon.endpoint()).c_str());
+  if (!options.workers.empty()) {
+    std::printf("polaris serve: distributing audits over workers %s\n",
+                options.workers.c_str());
+  }
   std::fflush(stdout);  // smoke scripts wait for this line through a pipe
 
   g_server = &daemon;

@@ -31,7 +31,10 @@ void print_usage() {
       "           emit masked structural Verilog\n"
       "  inspect  print bundle metadata, config, and mined rules\n"
       "  serve    long-lived daemon: load a bundle once, serve audit/mask/\n"
-      "           score over a Unix socket until SIGINT/SIGTERM/shutdown\n"
+      "           score over a Unix socket or TCP until SIGINT/SIGTERM/\n"
+      "           shutdown (--workers distributes audit campaigns)\n"
+      "  worker   shard-execution worker: runs TVLA campaign shards for a\n"
+      "           remote coordinator (audit/serve --workers)\n"
       "  client   send one request to a running daemon (audit | mask |\n"
       "           score | ping | stats | shutdown); same output and exit\n"
       "           codes as the offline commands\n"
@@ -64,6 +67,9 @@ int main(int argc, char** argv) {
       return polaris::cli::cmd_inspect(args);
     }
     if (std::strcmp(command, "serve") == 0) return polaris::cli::cmd_serve(args);
+    if (std::strcmp(command, "worker") == 0) {
+      return polaris::cli::cmd_worker(args);
+    }
     if (std::strcmp(command, "client") == 0) {
       return polaris::cli::cmd_client(args);
     }
