@@ -310,31 +310,43 @@ void WorkerPool::feed_worker(WorkerSlot& slot, Batch& batch) {
         if (!chunk) break;
         deadline = std::chrono::steady_clock::now() +
                    std::chrono::milliseconds(options_.timeout_ms);
-        if (installed.find(chunk->design) == installed.end()) {
-          const auto install =
-              encode_design_request(batch.designs[chunk->design]);
-          write_frame(fd, install, probe);
-          slot.bytes_out.fetch_add(install.size());
-          bytes_counter().add(install.size());
-          outstanding.push_back(Pending{});
-          installed.insert(chunk->design);
+        // Between pop and the Pending landing in `outstanding`, the chunk
+        // is invisible to the outer requeue loop: if a send fails here
+        // (torn connection, deadline probe firing mid-EAGAIN), give the
+        // chunk back before withdrawing, or Batch::remaining never
+        // reaches zero and every surviving lane spins forever.
+        try {
+          if (installed.find(chunk->design) == installed.end()) {
+            const auto install =
+                encode_design_request(batch.designs[chunk->design]);
+            write_frame(fd, install, probe);
+            slot.bytes_out.fetch_add(install.size());
+            bytes_counter().add(install.size());
+            outstanding.push_back(Pending{});
+            installed.insert(chunk->design);
+          }
+          ShardRequest request;
+          request.fingerprint = batch.fingerprints[chunk->design];
+          request.config = *batch.config;
+          request.shard_begin = chunk->begin;
+          request.shard_end = chunk->end;
+          const auto frame = encode_shard_request(request);
+          write_frame(fd, frame, probe);
+          slot.bytes_out.fetch_add(frame.size());
+          bytes_counter().add(frame.size());
+          shards_out_counter().add(chunk->end - chunk->begin);
+          Pending pending;
+          pending.is_chunk = true;
+          pending.chunk = *chunk;
+          pending.bytes = frame.size();
+          inflight_bytes += frame.size();
+          outstanding.push_back(std::move(pending));
+        } catch (...) {
+          slot.resends.fetch_add(chunk->end - chunk->begin);
+          resends_counter().add(chunk->end - chunk->begin);
+          batch.requeue(*chunk);
+          throw;
         }
-        ShardRequest request;
-        request.fingerprint = batch.fingerprints[chunk->design];
-        request.config = *batch.config;
-        request.shard_begin = chunk->begin;
-        request.shard_end = chunk->end;
-        const auto frame = encode_shard_request(request);
-        write_frame(fd, frame, probe);
-        slot.bytes_out.fetch_add(frame.size());
-        bytes_counter().add(frame.size());
-        shards_out_counter().add(chunk->end - chunk->begin);
-        Pending pending;
-        pending.is_chunk = true;
-        pending.chunk = *chunk;
-        pending.bytes = frame.size();
-        inflight_bytes += frame.size();
-        outstanding.push_back(std::move(pending));
         slot.inflight.fetch_add(1);
         ++chunks_out;
       }
@@ -381,29 +393,49 @@ void WorkerPool::feed_worker(WorkerSlot& slot, Batch& batch) {
         batch.requeue(pending.chunk);
         continue;
       }
-      if (response.status != Status::kOk) {
-        throw std::runtime_error("polaris net: worker '" + slot.display +
-                                 "' failed shard request: " +
-                                 response.message);
-      }
-      ShardReply reply = decode_shard_reply(response.body);
-      if (reply.shards.size() !=
-          pending.chunk.end - pending.chunk.begin) {
-        throw std::runtime_error("polaris net: worker '" + slot.display +
-                                 "' answered the wrong shard count");
-      }
-      for (auto& result_in : reply.shards) {
-        if (result_in.shard < pending.chunk.begin ||
-            result_in.shard >= pending.chunk.end) {
+      // The chunk left `outstanding` above, so from here until its
+      // shards are stored, a throw would strand it in neither the
+      // outstanding list nor the queue - the campaign would never
+      // complete. Validate the WHOLE reply first, store only after
+      // (store never throws), and requeue the chunk on any failure.
+      try {
+        if (response.status != Status::kOk) {
           throw std::runtime_error("polaris net: worker '" + slot.display +
-                                   "' answered an unrequested shard");
+                                   "' failed shard request: " +
+                                   response.message);
         }
-        batch.store(pending.chunk.design,
-                    static_cast<std::size_t>(result_in.shard),
-                    std::move(result_in.moments));
+        ShardReply reply = decode_shard_reply(response.body);
+        if (reply.shards.size() !=
+            pending.chunk.end - pending.chunk.begin) {
+          throw std::runtime_error("polaris net: worker '" + slot.display +
+                                   "' answered the wrong shard count");
+        }
+        // The worker fills a chunk's shards in ascending order, so entry
+        // i must be exactly begin + i. This is stricter than a range
+        // check on purpose: a duplicate in-range index would
+        // double-store one slot and double-decrement Batch::remaining,
+        // flipping `done` with shards still unstored - then the merge
+        // replay dereferences an empty slot. Network input never gets to
+        // do that, which is why validation completes before any store.
+        for (std::size_t i = 0; i < reply.shards.size(); ++i) {
+          if (reply.shards[i].shard != pending.chunk.begin + i) {
+            throw std::runtime_error("polaris net: worker '" + slot.display +
+                                     "' answered an unrequested shard");
+          }
+        }
+        for (auto& result_in : reply.shards) {
+          batch.store(pending.chunk.design,
+                      static_cast<std::size_t>(result_in.shard),
+                      std::move(result_in.moments));
+        }
+        slot.shards_done.fetch_add(reply.shards.size());
+        moments_in_counter().add(reply.shards.size());
+      } catch (...) {
+        slot.resends.fetch_add(pending.chunk.end - pending.chunk.begin);
+        resends_counter().add(pending.chunk.end - pending.chunk.begin);
+        batch.requeue(pending.chunk);
+        throw;
       }
-      slot.shards_done.fetch_add(reply.shards.size());
-      moments_in_counter().add(reply.shards.size());
     }
   } catch (const std::exception&) {
     // Worker lost (unreachable, timed out, torn connection, or a failed

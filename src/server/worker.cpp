@@ -284,18 +284,32 @@ std::vector<std::uint8_t> Worker::serve_shards(serialize::Reader& in) {
       }
     } else {
       std::atomic<std::size_t> next{0};
+      // An exception escaping a thread entry point is std::terminate, so
+      // each pool thread traps into a first-wins exception_ptr that the
+      // spawning thread rethrows after join - the request then fails
+      // with kServerError like the single-threaded path instead of
+      // killing the worker process.
+      std::mutex error_mutex;
+      std::exception_ptr first_error;
       std::vector<std::thread> pool;
       pool.reserve(threads);
       for (std::size_t t = 0; t < threads; ++t) {
         pool.emplace_back([&] {
-          for (std::size_t i = next.fetch_add(1); i < count;
-               i = next.fetch_add(1)) {
-            results[i] = runner->run_shard(
-                static_cast<std::size_t>(request.shard_begin) + i);
+          try {
+            for (std::size_t i = next.fetch_add(1); i < count;
+                 i = next.fetch_add(1)) {
+              results[i] = runner->run_shard(
+                  static_cast<std::size_t>(request.shard_begin) + i);
+            }
+          } catch (...) {
+            const std::lock_guard<std::mutex> lock(error_mutex);
+            if (!first_error) first_error = std::current_exception();
+            next.store(count);  // stop the other threads early
           }
         });
       }
       for (auto& thread : pool) thread.join();
+      if (first_error) std::rethrow_exception(first_error);
     }
   } catch (const std::exception& error) {
     throw ServerError(Status::kServerError, error.what());

@@ -6,11 +6,13 @@
 // the surviving lanes).
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <bit>
 #include <chrono>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -344,6 +346,89 @@ TEST(DistributedAudit, HealthAndTotalsTrackTheFleet) {
   if (totals.shards_out > 0) {
     EXPECT_GT(totals.bytes, 0u);
   }
+}
+
+TEST(DistributedAudit, DuplicateShardIndexInReplyIsRejectedNotMerged) {
+  // A protocol-correct but buggy worker answers a shard request with the
+  // right count but one in-range index duplicated. Each entry must be
+  // exactly begin + i: a duplicate would double-store one slot and
+  // double-decrement the remaining count, flipping `done` with shards
+  // still unstored - the merge replay would then read an empty slot. The
+  // coordinator must instead drop the worker, requeue the chunk, and let
+  // the local lanes finish with identical bits. The campaign is long and
+  // the local side single-threaded so the feeder is guaranteed to win
+  // chunks from the shared queue before the lanes drain it.
+  auto config = audit_config();
+  config.tvla.traces = 32768;
+  std::vector<circuits::Design> designs;
+  designs.push_back(circuits::load_design("des3", 1.0));
+  const auto expected = core::audit_designs(designs, lib(), config);
+
+  const int listen_fd = server::net::listen_endpoint(
+      server::net::parse_endpoint("tcp:127.0.0.1:0"), 4);
+  const auto endpoint = server::net::bound_endpoint(
+      listen_fd, server::net::parse_endpoint("tcp:127.0.0.1:0"));
+  std::thread malicious([&, listen_fd] {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) return;
+    std::optional<circuits::Design> installed;
+    std::vector<std::uint8_t> payload;
+    try {
+      for (;;) {
+        if (server::read_frame(fd, server::kDefaultMaxFrame, payload) !=
+            server::FrameResult::kFrame) {
+          break;
+        }
+        serialize::Reader in(std::move(payload));
+        const auto kind = server::decode_request_kind(in);
+        std::vector<std::uint8_t> response;
+        if (kind == server::RequestKind::kDesign) {
+          installed = server::decode_design_request(in).design;
+          response = server::encode_response(server::Status::kOk, "", false, {});
+        } else {
+          const auto request = server::decode_shard_request(in);
+          tvla::ShardRunner runner(
+              installed->netlist, lib(),
+              core::tvla_config_for(request.config, *installed));
+          server::ShardReply reply;
+          for (std::uint64_t shard = request.shard_begin;
+               shard < request.shard_end; ++shard) {
+            server::ShardResult result;
+            result.shard = request.shard_begin;  // every entry: same index
+            result.moments =
+                runner.run_shard(static_cast<std::size_t>(shard));
+            reply.shards.push_back(std::move(result));
+          }
+          response = server::encode_response(server::Status::kOk, "", false,
+                                             server::encode_shard_reply(reply));
+        }
+        server::write_frame(fd, response);
+        payload.clear();
+      }
+    } catch (const std::exception&) {
+      // Coordinator hung up on us mid-exchange - exactly what we expect.
+    }
+    ::close(fd);
+  });
+
+  server::WorkerPoolOptions options;
+  options.workers = server::net::to_string(endpoint);
+  options.local_threads = 1;
+  server::WorkerPool pool(options);
+  const auto reports = pool.audit(designs, lib(), config);
+  ASSERT_EQ(reports.size(), expected.size());
+  for (std::size_t d = 0; d < expected.size(); ++d) {
+    expect_reports_bit_identical(reports[d], expected[d]);
+  }
+
+  const auto health = pool.health();
+  ASSERT_EQ(health.size(), 1u);
+  EXPECT_FALSE(health[0].alive);  // dropped after the bad reply
+  EXPECT_EQ(health[0].shards_done, 0u);
+  EXPECT_GT(pool.totals().resends, 0u);
+
+  ::close(listen_fd);
+  malicious.join();
 }
 
 }  // namespace
